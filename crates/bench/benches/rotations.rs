@@ -1,0 +1,78 @@
+//! Microbenchmarks of the k-splay rotation machinery: how expensive is one
+//! restructure, and how does it scale with arity k?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kst_core::{KstTree, NodeIdx, WindowPolicy};
+use std::hint::black_box;
+
+fn bench_ksplay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_splay_deepest");
+    for k in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let base = KstTree::balanced(k, 4096);
+            let deepest = base.nodes().max_by_key(|&v| base.depth(v)).unwrap();
+            b.iter_batched(
+                || base.clone(),
+                |mut t| {
+                    if t.depth(deepest) >= 2 {
+                        t.k_splay(black_box(deepest), WindowPolicy::Paper);
+                    }
+                    t
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_splay_to_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splay_to_root_n4096");
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let base = KstTree::balanced(k, 4096);
+            let mut i = 0u32;
+            b.iter_batched(
+                || base.clone(),
+                |mut t| {
+                    i = (i.wrapping_mul(16_807).wrapping_add(7)) % 4096;
+                    t.splay_until(
+                        black_box(i as NodeIdx),
+                        kst_core::NIL,
+                        kst_core::SplayStrategy::KSplay,
+                        WindowPolicy::Paper,
+                    );
+                    t
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_policy_ablation");
+    for (name, policy) in [
+        ("paper", WindowPolicy::Paper),
+        ("leftmost", WindowPolicy::Leftmost),
+        ("rightmost", WindowPolicy::Rightmost),
+    ] {
+        group.bench_function(name, |b| {
+            let base = KstTree::balanced(8, 2048);
+            let deepest = base.nodes().max_by_key(|&v| base.depth(v)).unwrap();
+            b.iter_batched(
+                || base.clone(),
+                |mut t| {
+                    t.k_splay(black_box(deepest), policy);
+                    t
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksplay, bench_splay_to_root, bench_window_policies);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Greedy local routing vs centralized distance computation, and the
+//! detour overhead on heavily-splayed trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kst_core::{routing, KSplayNet, Network};
+use kst_workloads::gens;
+use std::hint::black_box;
+
+fn splayed_net(k: usize, n: usize) -> KSplayNet {
+    let mut net = KSplayNet::balanced(k, n);
+    let trace = gens::zipf(n, 20_000, 1.2, 3);
+    for &(u, v) in trace.requests() {
+        net.serve(u, v);
+    }
+    net
+}
+
+fn bench_greedy_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_route_n1024");
+    for k in [2usize, 4, 8] {
+        let net = splayed_net(k, 1024);
+        let probes = gens::uniform(1024, 4096, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut pos = 0usize;
+            b.iter(|| {
+                let (u, v) = probes.requests()[pos % probes.len()];
+                pos += 1;
+                routing::route(black_box(net.tree()), u, v).unwrap().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_distance_n1024");
+    for k in [2usize, 4, 8] {
+        let net = splayed_net(k, 1024);
+        let probes = gens::uniform(1024, 4096, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut pos = 0usize;
+            b.iter(|| {
+                let (u, v) = probes.requests()[pos % probes.len()];
+                pos += 1;
+                net.distance(black_box(u), black_box(v))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_route, bench_distance);
+criterion_main!(benches);

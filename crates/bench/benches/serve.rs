@@ -1,0 +1,82 @@
+//! Request-serving throughput of each network implementation across
+//! workload locality regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kst_core::{KPlusOneSplayNet, KSplayNet, Network};
+use kst_workloads::gens;
+use splaynet_classic::ClassicSplayNet;
+use std::hint::black_box;
+
+const N: usize = 1024;
+const BATCH: usize = 2000;
+
+fn bench_ksplaynet_arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksplaynet_serve_t05");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = gens::temporal(N, 200_000, 0.5, 1);
+    for k in [2usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut net = KSplayNet::balanced(k, N);
+            let mut pos = 0usize;
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..BATCH {
+                    let (u, v) = trace.requests()[pos % trace.len()];
+                    pos += 1;
+                    acc += net.serve(black_box(u), black_box(v)).routing;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_networks_compared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_by_network_t075");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = gens::temporal(N, 200_000, 0.75, 2);
+    group.bench_function("classic_splaynet", |b| {
+        let mut net = ClassicSplayNet::balanced(N);
+        let mut pos = 0usize;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                let (u, v) = trace.requests()[pos % trace.len()];
+                pos += 1;
+                acc += net.serve(black_box(u), black_box(v)).routing;
+            }
+            acc
+        });
+    });
+    group.bench_function("kary_splaynet_k2", |b| {
+        let mut net = KSplayNet::balanced(2, N);
+        let mut pos = 0usize;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                let (u, v) = trace.requests()[pos % trace.len()];
+                pos += 1;
+                acc += net.serve(black_box(u), black_box(v)).routing;
+            }
+            acc
+        });
+    });
+    group.bench_function("centroid_3splaynet", |b| {
+        let mut net = KPlusOneSplayNet::new(2, N);
+        let mut pos = 0usize;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                let (u, v) = trace.requests()[pos % trace.len()];
+                pos += 1;
+                acc += net.serve(black_box(u), black_box(v)).routing;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksplaynet_arity, bench_networks_compared);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Build-time scaling of the offline constructions, matching the paper's
+//! complexity claims: O(n³k) general DP (Theorem 2), O(n²k) uniform DP
+//! (Theorem 4), O(n) centroid construction (Theorem 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kst_statics::{centroid_tree, optimal_routing_based_tree, optimal_uniform_tree};
+use kst_workloads::{gens, DemandMatrix};
+use std::hint::black_box;
+
+fn bench_dp_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_general_k3");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let trace = gens::zipf(n, 20_000, 1.2, 1);
+        let demand = DemandMatrix::from_trace(&trace);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| optimal_routing_based_tree(black_box(&demand), 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_general_arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_general_n100_by_k");
+    group.sample_size(10);
+    let trace = gens::zipf(100, 20_000, 1.2, 1);
+    let demand = DemandMatrix::from_trace(&trace);
+    for k in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| optimal_routing_based_tree(black_box(&demand), k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_uniform_k3");
+    group.sample_size(10);
+    for n in [100usize, 400, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| optimal_uniform_tree(black_box(n), 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_centroid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centroid_build_k3");
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| centroid_tree(black_box(n), 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_general,
+    bench_dp_general_arity,
+    bench_dp_uniform,
+    bench_centroid
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Remark 10/37 check: "the centroid k-ary search tree is indeed optimal
+//! for all n less than 10³ when k is up to 10" (uniform workload).
+//!
+//! Sweeps n and k, comparing the O(n) centroid construction's uniform
+//! total distance against the O(n²k) DP optimum and against the full k-ary
+//! tree.
+
+use kst_bench::write_report;
+use kst_sim::table::Table;
+use kst_statics::{centroid_tree, full_kary, optimal_uniform_tree};
+
+fn main() {
+    let ns: Vec<usize> = vec![5, 10, 20, 50, 100, 200, 500, 999];
+    let mut tab = Table::new(&["n", "k", "centroid", "optimal (DP)", "full tree", "centroid=opt?"]);
+    let mut all_optimal = true;
+    for &n in &ns {
+        for k in 2..=10usize {
+            let c = centroid_tree(n, k).total_distance_uniform();
+            let (_, opt) = optimal_uniform_tree(n, k);
+            let f = full_kary(n, k).total_distance_uniform();
+            let eq = c == opt;
+            all_optimal &= eq;
+            tab.row(vec![
+                n.to_string(),
+                k.to_string(),
+                c.to_string(),
+                opt.to_string(),
+                f.to_string(),
+                if eq { "yes".into() } else { format!("no (+{})", c - opt) },
+            ]);
+        }
+    }
+    let mut report = String::from(
+        "## Remark 10: centroid k-ary search tree vs the uniform-workload optimum\n\n",
+    );
+    report.push_str(&tab.to_markdown());
+    report.push_str(&format!(
+        "\nCentroid tree optimal for every (n ≤ 999, k ≤ 10) tested: **{}**\n",
+        if all_optimal { "yes" } else { "no" }
+    ));
+    println!("{report}");
+    match write_report("remark10.md", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

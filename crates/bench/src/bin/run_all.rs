@@ -1,0 +1,43 @@
+//! Regenerates every paper artifact in one go, writing `results/*.md`.
+//! Equivalent to running `table_kary`, `table8`, `remark10`, `lemma9` and
+//! `entropy_check` back to back (see those binaries for artifact details).
+
+use kst_bench::{render_kary_table, render_table8, write_report};
+use kst_sim::experiments::{kary_table, table8_row, Scale, WORKLOADS};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "run_all: requests={} facebook_n={} dp_limit={} threads={}",
+        scale.requests, scale.facebook_n, scale.dp_limit, scale.threads
+    );
+    let t0 = std::time::Instant::now();
+
+    // Tables 1–7
+    let mut combined = String::new();
+    for name in ["hpc", "projector", "facebook", "t025", "t05", "t075", "t09"] {
+        let start = std::time::Instant::now();
+        let table = kary_table(name, &scale);
+        let report = render_kary_table(&table);
+        println!("{report}");
+        combined.push_str(&report);
+        combined.push('\n');
+        let _ = write_report(&format!("table_kary_{name}.md"), &report);
+        eprintln!("[tables 1-7 | {name}] {:.1?}", start.elapsed());
+    }
+    let _ = write_report("tables_1_7.md", &combined);
+
+    // Table 8
+    let mut rows = Vec::new();
+    for name in WORKLOADS {
+        let start = std::time::Instant::now();
+        rows.push(table8_row(name, &scale));
+        eprintln!("[table 8 | {name}] {:.1?}", start.elapsed());
+    }
+    let report = render_table8(&rows);
+    println!("{report}");
+    let _ = write_report("table8.md", &report);
+
+    eprintln!("run_all finished in {:.1?}", t0.elapsed());
+    eprintln!("(remark10, lemma9 and entropy_check are separate binaries)");
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table 8: the centroid-based 3-SplayNet against classic
+//! SplayNet, the static full binary tree, and the static optimal BST, on
+//! all eight workloads.
+
+use kst_bench::{render_table8, write_report};
+use kst_sim::experiments::{table8_row, Scale, WORKLOADS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        WORKLOADS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let scale = Scale::from_env();
+    eprintln!(
+        "scale: requests={} facebook_n={} dp_limit={} threads={}",
+        scale.requests, scale.facebook_n, scale.dp_limit, scale.threads
+    );
+    let mut rows = Vec::new();
+    for name in names {
+        let start = std::time::Instant::now();
+        rows.push(table8_row(&name, &scale));
+        eprintln!("[{name}] done in {:.1?}", start.elapsed());
+    }
+    let report = render_table8(&rows);
+    println!("{report}");
+    match write_report("table8.md", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Tables 1–7: k-ary SplayNet vs SplayNet (k = 2) vs the
+//! static full and optimal routing-based k-ary trees, for k ∈ [2, 10].
+//!
+//! Usage: `table_kary [workload…]` with workloads from
+//! {hpc, projector, facebook, t025, t05, t075, t09, uniform};
+//! default: the seven workloads of Tables 1–7.
+
+use kst_bench::{render_kary_table, write_report};
+use kst_sim::experiments::{kary_table, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["hpc", "projector", "facebook", "t025", "t05", "t075", "t09"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let scale = Scale::from_env();
+    eprintln!(
+        "scale: requests={} facebook_n={} dp_limit={} threads={}",
+        scale.requests, scale.facebook_n, scale.dp_limit, scale.threads
+    );
+    for name in names {
+        let start = std::time::Instant::now();
+        let table = kary_table(&name, &scale);
+        let report = render_kary_table(&table);
+        println!("{report}");
+        eprintln!("[{name}] done in {:.1?}", start.elapsed());
+        let file = format!("table_kary_{name}.md");
+        match write_report(&file, &report) {
+            Ok(p) => eprintln!("[{name}] wrote {}", p.display()),
+            Err(e) => eprintln!("[{name}] could not write report: {e}"),
+        }
+    }
+}

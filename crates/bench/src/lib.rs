@@ -1,0 +1,143 @@
+//! # kst-bench — experiment harness regenerating the paper's tables
+//!
+//! One binary per paper artifact (see DESIGN.md §5 for the index):
+//! * `table_kary <workload>…` — Tables 1–7 (k-ary SplayNet vs static
+//!   trees, k ∈ \[2,10\]);
+//! * `table8` — Table 8 (3-SplayNet vs SplayNet vs static binary trees);
+//! * `remark10` — centroid-tree optimality sweep (Remark 10/37);
+//! * `lemma9` — n² log_k n scaling of full & centroid trees (Lemma 9/36);
+//! * `entropy_check` — empirical Theorem 13 entropy bound;
+//! * `run_all` — everything above, writing `results/*.md`.
+//!
+//! Scaling knobs come from the environment: `KSAN_REQUESTS` (default 10⁶),
+//! `KSAN_FACEBOOK_N` (default 10⁴), `KSAN_DP_LIMIT`, `KSAN_THREADS`,
+//! `KSAN_SEED`.
+//!
+//! The library part holds shared report plumbing.
+
+use kst_sim::experiments::{workload_label, KaryTable, Table8Row};
+use kst_sim::table::{avg, ratio, Table};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where `results/*.md` files go (workspace root `results/`).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Writes a report file under `results/`, creating the directory.
+pub fn write_report(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+/// Renders a Tables 1–7 style report: absolute 2-ary cost + relative rows,
+/// exactly like the paper ("the lower the better" for every ratio).
+///
+/// ```
+/// use kst_bench::render_kary_table;
+/// use kst_sim::experiments::{kary_table, Scale};
+///
+/// let mut scale = Scale::tiny(500);
+/// scale.dp_limit = 0; // skip the DP in this doc test
+/// let table = kary_table("t05", &scale);
+/// let md = render_kary_table(&table);
+/// assert!(md.contains("SplayNet"));
+/// assert!(md.contains("Optimal Tree"));
+/// ```
+pub fn render_kary_table(t: &KaryTable) -> String {
+    let base = t.cells[0].splaynet.routing;
+    let mut header: Vec<String> = vec!["".to_string()];
+    for c in &t.cells {
+        header.push(c.k.to_string());
+    }
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut tab = Table::new(&hdr_refs);
+    // Row 1: absolute routing cost of 2-ary SplayNet, then cost_k / cost_2.
+    let mut row1 = vec!["SplayNet".to_string(), base.to_string()];
+    for c in &t.cells[1..] {
+        row1.push(ratio(c.splaynet.routing as f64 / base as f64));
+    }
+    tab.row(row1);
+    // Row 2: k-ary SplayNet / full k-ary tree.
+    let mut row2 = vec!["Full Tree".to_string()];
+    for c in &t.cells {
+        row2.push(ratio(c.splaynet.routing as f64 / c.full_tree as f64));
+    }
+    tab.row(row2);
+    // Row 3: k-ary SplayNet / optimal static routing-based k-ary tree.
+    let mut row3 = vec!["Optimal Tree".to_string()];
+    for c in &t.cells {
+        match c.optimal {
+            Some(o) => row3.push(ratio(c.splaynet.routing as f64 / o as f64)),
+            None => row3.push("-".to_string()),
+        }
+    }
+    tab.row(row3);
+    let mut out = format!(
+        "## k-ary SplayNet on {} \n\n\
+         trace: n={} m={} repeat-rate={:.3} src-entropy={:.2} bits\n\n",
+        workload_label(&t.workload),
+        t.stats.n,
+        t.stats.m,
+        t.stats.repeat_rate,
+        t.stats.src_entropy
+    );
+    out.push_str(&tab.to_markdown());
+    out.push_str(
+        "\nRow 1: total routing cost of 2-ary SplayNet, then cost(k)/cost(2).\n\
+         Row 2: cost(k-ary SplayNet)/cost(full k-ary tree). \
+         Row 3: cost(k-ary SplayNet)/cost(optimal static k-ary tree). \
+         Lower is better for the SplayNet in all rows.\n",
+    );
+    out
+}
+
+/// Renders the Table 8 style report.
+pub fn render_table8(rows: &[Table8Row]) -> String {
+    let mut tab = Table::new(&[
+        "Workload",
+        "3-SplayNet",
+        "SplayNet",
+        "Full Binary Net",
+        "Static Optimal Net",
+    ]);
+    for r in rows {
+        // Paper metric: unit cost = routing + rotations, each at cost one;
+        // static topologies only pay routing.
+        let base = r.three_splay.total_unit_cost() as f64 / r.three_splay.requests as f64;
+        let ratio_of = |cost: u64| -> String {
+            let other = cost as f64 / r.three_splay.requests as f64;
+            format!("x{:.3}", other / base)
+        };
+        let opt_cell = if r.optimal_exact {
+            ratio_of(r.optimal)
+        } else {
+            format!("{} (near-opt)", ratio_of(r.optimal))
+        };
+        tab.row(vec![
+            workload_label(&r.workload).to_string(),
+            avg(base),
+            ratio_of(r.splaynet.total_unit_cost()),
+            ratio_of(r.full_binary),
+            opt_cell,
+        ]);
+    }
+    let mut out = String::from("## Table 8: 3-SplayNet vs other networks\n\n");
+    out.push_str(&tab.to_markdown());
+    out.push_str(
+        "\nColumn 1: average request cost (routing + unit-cost rotations) of \
+         3-SplayNet. Other columns: that network's average cost relative to \
+         3-SplayNet (x>1 means 3-SplayNet is better, as in the paper's green \
+         cells). Static trees pay no rotations.\n",
+    );
+    out
+}

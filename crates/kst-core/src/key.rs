@@ -1,0 +1,96 @@
+//! Key spaces for k-ary search tree networks.
+//!
+//! The paper's central modelling requirement (Section 1, Definition 1) is
+//! that a network node's *identifier* is permanent while its *routing array*
+//! is re-shuffled by rotations, and that identifiers are **not** members of
+//! routing arrays (the non-routing-based trees of Remark 11, which are the
+//! only ones the k-splay rotations apply to).
+//!
+//! We therefore keep two ordered spaces:
+//!
+//! * [`NodeKey`] — the node identifier, `1..=n`. It doubles as the arena
+//!   index (`key - 1`), so a node's identity is immutable by construction.
+//! * [`RoutingKey`] — a `u64` in which node key `κ` embeds as `κ << 32`
+//!   ([`key_image`]). Routing elements are arbitrary `u64` values that are
+//!   never key images; between any two distinct key images there are
+//!   `2^32 - 1` routing values, so separators always exist.
+
+/// Permanent node identifier, `1..=n`. Also the network address used for
+/// routing requests.
+pub type NodeKey = u32;
+
+/// Value in the routing-element order. Node keys embed via [`key_image`];
+/// routing-array elements are `RoutingKey`s that are never key images.
+pub type RoutingKey = u64;
+
+/// Arena index of a node (`key - 1`). `NIL` marks an absent node/slot.
+pub type NodeIdx = u32;
+
+/// Sentinel for "no node": empty child slot, or the parent of the root.
+pub const NIL: NodeIdx = u32::MAX;
+
+/// Bits by which a node key is shifted to embed into the routing space.
+pub const KEY_SHIFT: u32 = 32;
+
+/// Embeds a node key into the routing-element order.
+#[inline]
+pub fn key_image(key: NodeKey) -> RoutingKey {
+    (key as RoutingKey) << KEY_SHIFT
+}
+
+/// Inverse of [`key_image`] for values that are exact key images.
+#[inline]
+pub fn image_key(img: RoutingKey) -> Option<NodeKey> {
+    if img & ((1u64 << KEY_SHIFT) - 1) == 0 && img != 0 {
+        Some((img >> KEY_SHIFT) as NodeKey)
+    } else {
+        None
+    }
+}
+
+/// Converts a node key to its arena index.
+#[inline]
+pub fn key_to_idx(key: NodeKey) -> NodeIdx {
+    debug_assert!(key >= 1);
+    key - 1
+}
+
+/// Converts an arena index back to the node key it permanently carries.
+#[inline]
+pub fn idx_to_key(idx: NodeIdx) -> NodeKey {
+    idx + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_image_is_monotone_and_invertible() {
+        let mut prev = 0u64;
+        for k in 1..1000u32 {
+            let img = key_image(k);
+            assert!(img > prev);
+            assert_eq!(image_key(img), Some(k));
+            prev = img;
+        }
+    }
+
+    #[test]
+    fn non_images_are_rejected() {
+        assert_eq!(image_key(key_image(7) + 1), None);
+        assert_eq!(image_key(0), None);
+    }
+
+    #[test]
+    fn there_is_room_between_consecutive_images() {
+        assert_eq!(key_image(2) - key_image(1), 1u64 << KEY_SHIFT);
+    }
+
+    #[test]
+    fn key_idx_roundtrip() {
+        for k in 1..100 {
+            assert_eq!(idx_to_key(key_to_idx(k)), k);
+        }
+    }
+}

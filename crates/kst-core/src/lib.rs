@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # kst-core — self-adjusting k-ary search tree networks
+//!
+//! Core library reproducing the primary contribution of *Toward
+//! Self-Adjusting k-ary Search Tree Networks* (Feder, Paramonov, Mavrin,
+//! Salem, Aksenov, Schmid; 2024):
+//!
+//! * [`tree::KstTree`] — the arena-backed k-ary search tree **network**
+//!   (Definition 1): permanent node identifiers, per-node routing arrays of
+//!   `k−1` routing keys drawn from a separate ordered space, `k` child
+//!   slots, search property maintained across reconfiguration.
+//! * [`restructure`] — the paper's novel rotations (`k-semi-splay`,
+//!   `k-splay`, and their d-node generalization) implemented as one
+//!   window-assignment procedure that reproduces classic binary splay
+//!   rotations at `k = 2`.
+//! * [`ksplaynet::KSplayNet`] — the online **k-ary SplayNet** (Section 4.1).
+//! * [`centroid_net::KPlusOneSplayNet`] — the online **(k+1)-SplayNet**
+//!   built around the centroid heuristic (Section 4.2).
+//! * [`routing`] — local greedy packet routing despite reconfigurations.
+//! * [`net::Network`] — the simulation-facing trait shared with baselines
+//!   and static topologies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kst_core::{KSplayNet, Network};
+//!
+//! let mut net = KSplayNet::balanced(4, 100); // 4-ary, 100 nodes
+//! let cost = net.serve(17, 93);
+//! assert!(cost.routing >= 1);
+//! assert_eq!(net.distance(17, 93), 1); // endpoints now adjacent
+//! ```
+
+pub mod centroid_net;
+pub mod invariants;
+pub mod key;
+pub mod ksplaynet;
+pub mod lazy;
+pub mod net;
+pub mod restructure;
+pub mod routing;
+pub mod shape;
+pub mod splay;
+pub mod tree;
+pub mod viz;
+
+pub use centroid_net::{KPlusOneSplayNet, Membership};
+pub use key::{key_image, NodeIdx, NodeKey, RoutingKey, NIL};
+pub use ksplaynet::KSplayNet;
+pub use lazy::{LazyKaryNet, Rebuild};
+pub use net::{Network, ServeCost};
+pub use restructure::{RestructureStats, WindowPolicy};
+pub use shape::ShapeTree;
+pub use splay::{SplayStats, SplayStrategy};
+pub use tree::KstTree;

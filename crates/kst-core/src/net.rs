@@ -1,0 +1,51 @@
+//! The self-adjusting-network abstraction shared by every topology in the
+//! workspace (online k-ary SplayNets, the centroid (k+1)-SplayNet, the
+//! classic binary SplayNet, and the static trees).
+//!
+//! The cost model is the paper's Section 2: serving request `(u, v)` costs
+//! the distance between `u` and `v` in the *current* topology `G_{i-1}`
+//! (routing cost), plus the reconfiguration performed afterwards
+//! (adjustment cost, reported both as rotation count — the paper's unit in
+//! Section 5 — and as physical links changed).
+
+use crate::key::NodeKey;
+
+/// Per-request cost breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCost {
+    /// Path length between the endpoints in the topology before adjustment.
+    pub routing: u64,
+    /// Rotations performed while adjusting (0 for static topologies).
+    pub rotations: u64,
+    /// Physical links added + removed while adjusting.
+    pub links_changed: u64,
+}
+
+impl ServeCost {
+    /// Total cost under the paper's experimental model (routing and
+    /// rotation costs both one).
+    pub fn total_unit(&self) -> u64 {
+        self.routing + self.rotations
+    }
+}
+
+/// A communication topology that serves a request sequence.
+pub trait Network {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// True if the network is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current distance between two node keys.
+    fn distance(&self, u: NodeKey, v: NodeKey) -> u64;
+
+    /// Serves request `(u, v)`: charges the routing cost in the current
+    /// topology, then (for self-adjusting networks) reconfigures.
+    fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost;
+
+    /// Short human-readable description for reports.
+    fn label(&self) -> String;
+}

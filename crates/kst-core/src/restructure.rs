@@ -1,0 +1,432 @@
+//! The paper's novel rotations: `k-semi-splay`, `k-splay`, and their d-node
+//! generalization (Section 4.1).
+//!
+//! All three are instances of one procedure, sketched at the end of
+//! Section 4.1: given a downward path `x₁ → x₂ → … → x_d`,
+//!
+//! 1. merge the d routing arrays (and the `d(k-1)+1` hanging subtrees) into
+//!    one virtual super-node;
+//! 2. re-form the nodes in order `x₁, …, x_d`: each takes `k-1`
+//!    *consecutive* elements whose span covers its own key, consumes the
+//!    `k` subtrees between them, collapses into a single subtree occupying
+//!    its gap, and is removed from the array;
+//! 3. the last node `x_d` takes the remaining `k-1` elements and becomes the
+//!    root of the fragment, reattached where `x₁` hung.
+//!
+//! With `d = 2` this is **k-semi-splay** (Fig. 3: promote child over
+//! parent, ≙ zig); with `d = 3` it is **k-splay** (Figs. 4–6). The paper's
+//! two k-splay cases emerge from window placement: when the keys of `x₁`
+//! and `x₂` are distant, their windows avoid each other and both end up as
+//! direct children of `x₃` (case 1 ≙ zig-zag); when close, `x₂`'s window
+//! spans `x₁`'s collapsed gap, producing the chain `x₃ → x₂ → x₁`
+//! (case 2 ≙ zig-zig).
+//!
+//! The *window policy* decides among valid windows. [`WindowPolicy::Paper`]
+//! (1. avoid spanning a pending path key's gap when possible, 2. centre on
+//! the own key's gap, 3. leftmost) reproduces classic binary splay-tree
+//! rotations move-for-move at `k = 2`, which the differential tests against
+//! `splaynet-classic` verify. `Leftmost`/`Rightmost` are ablation variants.
+
+use crate::key::{key_image, NodeIdx, RoutingKey, NIL};
+use crate::tree::KstTree;
+
+/// Policy choosing a window position when several cover the key's gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Avoid pending path keys, then centre, then leftmost (the paper's
+    /// case rules; ≙ classic splay rotations at k = 2).
+    #[default]
+    Paper,
+    /// Always the leftmost valid window.
+    Leftmost,
+    /// Always the rightmost valid window.
+    Rightmost,
+}
+
+/// Cost bookkeeping for one restructure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestructureStats {
+    /// Links added plus links removed by this operation (the model's
+    /// adjustment cost in edges, Section 2).
+    pub links_changed: u64,
+    /// Elementary rotations: `d − 1` for a d-node restructure, so a
+    /// k-semi-splay counts 1 (≙ zig) and a k-splay counts 2 (≙
+    /// zig-zig/zig-zag) — directly comparable with classic splay-tree
+    /// rotation counts, which the k = 2 differential test relies on.
+    pub rotations: u64,
+}
+
+impl KstTree {
+    /// Generalized k-splay on a downward path (`path[i+1]` must be a child
+    /// of `path[i]`, `path.len() >= 2`). After the call `path.last()`
+    /// occupies the old position of `path\[0\]`.
+    pub fn restructure(&mut self, path: &[NodeIdx], policy: WindowPolicy) -> RestructureStats {
+        let d = path.len();
+        assert!(d >= 2, "restructure needs at least two nodes");
+        let k = self.k();
+        let km1 = k - 1;
+        debug_assert!(self.is_downward_path(path), "not a downward path");
+
+        let top = path[0];
+        let anchor = self.parent(top);
+        let anchor_slot = if anchor == NIL {
+            usize::MAX
+        } else {
+            self.slot_of(anchor, top)
+        };
+        let (frag_lo, frag_hi) = self.bounds(top);
+
+        // --- 1. merge ------------------------------------------------------
+        // Reuse scratch buffers: elems (d·(k-1)) and slots (d·(k-1)+1).
+        let mut elems = std::mem::take(&mut self.scratch_elems);
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        let mut before = std::mem::take(&mut self.scratch_edges);
+        elems.clear();
+        slots.clear();
+        before.clear();
+
+        elems.extend_from_slice(self.elems(top));
+        slots.extend_from_slice(self.children(top));
+        for &child in &path[1..] {
+            let pos = slots
+                .iter()
+                .position(|&s| s == child)
+                .expect("path node missing from merged slots");
+            // Splice child's elems/slots into its slot position.
+            // slots: [..pos, child, pos+1..] -> [..pos, child_slots…, pos+1..]
+            // elems: child's elements enter between elems[pos-1] and
+            // elems[pos] (positionally; values are consistent by the search
+            // property).
+            // Insert elements at position `pos` (elements before slot j are
+            // exactly the first j merged elements).
+            for i in 0..km1 {
+                let e = self.elems(child)[i];
+                elems.insert(pos + i, e);
+            }
+            slots.remove(pos);
+            for i in 0..k {
+                let s = self.children(child)[i];
+                slots.insert(pos + i, s);
+            }
+        }
+        debug_assert_eq!(elems.len(), d * km1);
+        debug_assert_eq!(slots.len(), d * km1 + 1);
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+
+        // Record the affected (undirected) link set for adjustment-cost
+        // accounting: links are physical and carry no direction.
+        if anchor != NIL {
+            before.push(undirected(anchor, top));
+        }
+        for w in 0..d - 1 {
+            before.push(undirected(path[w], path[w + 1]));
+        }
+        for &s in slots.iter() {
+            if s != NIL {
+                before.push(undirected(self.parent(s), s));
+            }
+        }
+        before.sort_unstable();
+
+        // --- 2. re-form nodes ---------------------------------------------
+        for i in 0..d {
+            let node = path[i];
+            let m = elems.len();
+            let img = key_image(node + 1);
+            let gap = elems.partition_point(|&e| e < img);
+            if i + 1 == d {
+                // Fragment root takes everything that remains.
+                debug_assert_eq!(m, km1);
+                self.install_node(node, &elems, &slots, frag_lo, frag_hi);
+                break;
+            }
+            let a_min = gap.saturating_sub(km1);
+            let a_max = gap.min(m - km1);
+            debug_assert!(a_min <= a_max);
+            let a = choose_window(
+                policy,
+                a_min,
+                a_max,
+                gap,
+                km1,
+                &elems,
+                &path[i + 1..],
+            );
+            let lo = if a == 0 { frag_lo } else { elems[a - 1] };
+            let hi = if a + km1 == m { frag_hi } else { elems[a + km1] };
+            self.install_node(node, &elems[a..a + km1], &slots[a..=a + km1], lo, hi);
+            elems.drain(a..a + km1);
+            slots.splice(a..=a + km1, std::iter::once(node));
+        }
+
+        // --- 3. reattach ----------------------------------------------------
+        let new_top = path[d - 1];
+        self.set_parent(new_top, anchor);
+        if anchor == NIL {
+            self.set_root(new_top);
+        } else {
+            self.children_mut(anchor)[anchor_slot] = new_top;
+        }
+
+        // --- links-changed accounting ---------------------------------------
+        let mut after: Vec<(NodeIdx, NodeIdx)> = Vec::with_capacity(before.len());
+        if anchor != NIL {
+            after.push(undirected(anchor, new_top));
+        }
+        for &p in path {
+            for &c in self.children(p) {
+                if c != NIL {
+                    after.push(undirected(p, c));
+                }
+            }
+        }
+        after.sort_unstable();
+        let changed = symmetric_difference_count(&before, &after);
+
+        self.scratch_elems = elems;
+        self.scratch_slots = slots;
+        self.scratch_edges = before;
+        RestructureStats {
+            links_changed: changed,
+            rotations: (d - 1) as u64,
+        }
+    }
+
+    /// k-semi-splay (Fig. 3): promote `child` over its parent.
+    pub fn k_semi_splay(&mut self, child: NodeIdx, policy: WindowPolicy) -> RestructureStats {
+        let p = self.parent(child);
+        assert!(p != NIL, "cannot semi-splay the root");
+        self.restructure(&[p, child], policy)
+    }
+
+    /// k-splay (Figs. 4–6): promote `node` over its parent and grandparent.
+    pub fn k_splay(&mut self, node: NodeIdx, policy: WindowPolicy) -> RestructureStats {
+        let p = self.parent(node);
+        assert!(p != NIL, "node has no parent");
+        let g = self.parent(p);
+        assert!(g != NIL, "node has no grandparent");
+        self.restructure(&[g, p, node], policy)
+    }
+
+    fn is_downward_path(&self, path: &[NodeIdx]) -> bool {
+        path.windows(2).all(|w| self.parent(w[1]) == w[0])
+    }
+
+    fn install_node(
+        &mut self,
+        node: NodeIdx,
+        elems: &[RoutingKey],
+        slots: &[NodeIdx],
+        lo: RoutingKey,
+        hi: RoutingKey,
+    ) {
+        debug_assert_eq!(elems.len(), self.k() - 1);
+        debug_assert_eq!(slots.len(), self.k());
+        self.elems_mut(node).copy_from_slice(elems);
+        self.children_mut(node).copy_from_slice(slots);
+        self.set_bounds(node, lo, hi);
+        let k = self.k();
+        for j in 0..k {
+            let c = self.children(node)[j];
+            if c != NIL {
+                self.set_parent(c, node);
+                let clo = if j == 0 { lo } else { self.elems(node)[j - 1] };
+                let chi = if j == k - 1 { hi } else { self.elems(node)[j] };
+                self.set_bounds(c, clo, chi);
+            }
+        }
+    }
+}
+
+/// Chooses the window start within `[a_min, a_max]` for a node whose key
+/// sits at `gap` in the current merged array.
+fn choose_window(
+    policy: WindowPolicy,
+    a_min: usize,
+    a_max: usize,
+    gap: usize,
+    km1: usize,
+    elems: &[RoutingKey],
+    pending: &[NodeIdx],
+) -> usize {
+    match policy {
+        WindowPolicy::Leftmost => a_min,
+        WindowPolicy::Rightmost => a_max,
+        WindowPolicy::Paper => {
+            if a_min == a_max {
+                return a_min;
+            }
+            // Gap positions of the pending path keys in the current array.
+            let mut pend_gaps: [usize; 8] = [usize::MAX; 8];
+            let mut np = 0;
+            for &p in pending.iter().take(8) {
+                pend_gaps[np] = elems.partition_point(|&e| e < key_image(p + 1));
+                np += 1;
+            }
+            // A window starting at `a` spans gaps a..=a+km1.
+            let clean = |a: usize| -> bool {
+                pend_gaps[..np]
+                    .iter()
+                    .all(|&q| q < a || q > a + km1)
+            };
+            let ideal = gap as i64 - (km1 as i64 + 1) / 2;
+            let score = |a: usize| -> i64 { (a as i64 - ideal).abs() };
+            let mut best = usize::MAX;
+            let mut best_score = i64::MAX;
+            let mut any_clean = false;
+            for a in a_min..=a_max {
+                if clean(a) {
+                    any_clean = true;
+                }
+            }
+            for a in a_min..=a_max {
+                if any_clean && !clean(a) {
+                    continue;
+                }
+                let s = score(a);
+                if s < best_score || (s == best_score && a < best) {
+                    best_score = s;
+                    best = a;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[inline]
+fn undirected(a: NodeIdx, b: NodeIdx) -> (NodeIdx, NodeIdx) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Number of elements present in exactly one of two sorted pair lists.
+fn symmetric_difference_count(a: &[(NodeIdx, NodeIdx)], b: &[(NodeIdx, NodeIdx)]) -> u64 {
+    let (mut i, mut j, mut diff) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                diff += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff += 1;
+                j += 1;
+            }
+        }
+    }
+    diff + (a.len() - i) as u64 + (b.len() - j) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::validate;
+
+    fn check_conserved(t1: &KstTree, t2: &KstTree) {
+        assert_eq!(t1.element_multiset(), t2.element_multiset());
+    }
+
+    #[test]
+    fn semi_splay_promotes_child() {
+        for k in 2..=8 {
+            let mut t = KstTree::balanced(k, 60);
+            let before = t.clone();
+            // pick the deepest node
+            let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+            let p = t.parent(deepest);
+            let gp = t.parent(p);
+            let stats = t.k_semi_splay(deepest, WindowPolicy::Paper);
+            assert!(stats.links_changed > 0);
+            validate(&t).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            check_conserved(&before, &t);
+            assert_eq!(t.parent(deepest), gp, "child must take parent's place");
+        }
+    }
+
+    #[test]
+    fn k_splay_promotes_grandchild() {
+        for k in 2..=8 {
+            let mut t = KstTree::balanced(k, 200);
+            let before = t.clone();
+            let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+            if t.depth(deepest) < 2 {
+                continue;
+            }
+            let g = t.parent(t.parent(deepest));
+            let gg = t.parent(g);
+            t.k_splay(deepest, WindowPolicy::Paper);
+            validate(&t).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            check_conserved(&before, &t);
+            assert_eq!(t.parent(deepest), gg, "grandchild must take grandparent's place");
+        }
+    }
+
+    #[test]
+    fn repeated_restructure_keeps_invariants() {
+        for k in [2usize, 3, 5, 10] {
+            let mut t = KstTree::balanced(k, 100);
+            let snapshot = t.element_multiset();
+            let mut x = 1u64;
+            for _ in 0..500 {
+                // xorshift for determinism without rand dependency
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 100) as NodeIdx;
+                let d = t.depth(v);
+                if d >= 2 {
+                    t.k_splay(v, WindowPolicy::Paper);
+                } else if d == 1 {
+                    t.k_semi_splay(v, WindowPolicy::Paper);
+                }
+            }
+            validate(&t).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(t.element_multiset(), snapshot, "elements not conserved");
+        }
+    }
+
+    #[test]
+    fn all_policies_preserve_invariants() {
+        for policy in [
+            WindowPolicy::Paper,
+            WindowPolicy::Leftmost,
+            WindowPolicy::Rightmost,
+        ] {
+            let mut t = KstTree::balanced(4, 120);
+            let mut x = 99u64;
+            for _ in 0..300 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 120) as NodeIdx;
+                if t.depth(v) >= 2 {
+                    t.k_splay(v, policy);
+                }
+            }
+            validate(&t).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deep_generalized_restructure() {
+        // d = 4 and d = 5 paths also work.
+        let mut t = KstTree::balanced(2, 500);
+        let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+        assert!(t.depth(deepest) >= 4);
+        let p1 = t.parent(deepest);
+        let p2 = t.parent(p1);
+        let p3 = t.parent(p2);
+        let anchor = t.parent(p3);
+        t.restructure(&[p3, p2, p1, deepest], WindowPolicy::Paper);
+        validate(&t).unwrap();
+        assert_eq!(t.parent(deepest), anchor);
+    }
+}

@@ -1,0 +1,393 @@
+//! Rooted ordered tree *shapes* with in-order key assignment.
+//!
+//! Several constructions in the paper fix a tree shape first and distribute
+//! keys afterwards so that the search property holds (Section 3.2: "we can
+//! first fix the tree structure and then distribute the keys"). A
+//! [`ShapeTree`] is such a shape: an ordered rooted tree where each node has
+//! a list of ordered children plus a `key_gap` saying between which children
+//! the node's *own* key falls in the in-order sequence of its subtree.
+//!
+//! Shapes are produced by the balanced builder here, by the dynamic programs
+//! in `kst-statics`, and by the centroid construction; they are consumed by
+//! the arena-tree builder (`KstTree::from_shape`) and by the static distance
+//! evaluator.
+
+use crate::key::NodeKey;
+
+/// An ordered rooted tree shape with a per-node in-order position for the
+/// node's own key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeTree {
+    /// `children[v]` lists the ordered children of shape node `v`.
+    pub children: Vec<Vec<u32>>,
+    /// The node's own key precedes child `key_gap[v]` in its in-order
+    /// sequence (so `key_gap[v] == children[v].len()` puts it last).
+    pub key_gap: Vec<u8>,
+    /// Root shape node.
+    pub root: u32,
+}
+
+impl ShapeTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the shape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Builds the complete ("full" in the paper's terminology, Section 5)
+    /// k-ary tree shape on `n` nodes: every level fully filled except the
+    /// last, whose nodes are grouped to the left.
+    ///
+    /// The own-key gap is placed at the middle child to keep in-order keys
+    /// near the subtree median.
+    pub fn balanced_kary(n: usize, k: usize) -> ShapeTree {
+        assert!(k >= 2, "arity must be at least 2");
+        let mut shape = ShapeTree {
+            children: Vec::with_capacity(n),
+            key_gap: Vec::with_capacity(n),
+            root: 0,
+        };
+        if n == 0 {
+            return shape;
+        }
+        let root = build_complete(&mut shape, n, k);
+        shape.root = root;
+        shape
+    }
+
+    /// Subtree sizes (number of shape nodes, including the node itself).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut sizes = vec![0usize; n];
+        // Iterative post-order to avoid recursion depth limits on long paths.
+        let mut stack: Vec<(u32, usize)> = vec![(self.root, 0)];
+        while let Some(&(v, ci)) = stack.last() {
+            if ci < self.children[v as usize].len() {
+                stack.last_mut().unwrap().1 += 1;
+                stack.push((self.children[v as usize][ci], 0));
+            } else {
+                stack.pop();
+                let mut s = 1usize;
+                for &c in &self.children[v as usize] {
+                    s += sizes[c as usize];
+                }
+                sizes[v as usize] = s;
+            }
+        }
+        sizes
+    }
+
+    /// Assigns keys `first_key..first_key + n` to shape nodes by an in-order
+    /// walk that respects each node's `key_gap`. Returns the key per shape
+    /// node.
+    pub fn assign_keys(&self, first_key: NodeKey) -> Vec<NodeKey> {
+        let n = self.len();
+        let mut keys = vec![0 as NodeKey; n];
+        if n == 0 {
+            return keys;
+        }
+        // Iterative in-order: state = (node, next child position to visit).
+        let mut next = first_key;
+        let mut stack: Vec<(u32, usize)> = vec![(self.root, 0)];
+        while let Some(&(v, pos)) = stack.last() {
+            let cs = &self.children[v as usize];
+            let gap = self.key_gap[v as usize] as usize;
+            if pos == gap && keys[v as usize] == 0 {
+                keys[v as usize] = next;
+                next += 1;
+                if pos == cs.len() {
+                    stack.pop();
+                    continue;
+                }
+            }
+            if pos < cs.len() {
+                stack.last_mut().unwrap().1 += 1;
+                stack.push((cs[pos], 0));
+            } else {
+                if keys[v as usize] == 0 {
+                    keys[v as usize] = next;
+                    next += 1;
+                }
+                stack.pop();
+            }
+        }
+        debug_assert_eq!(next, first_key + n as NodeKey);
+        keys
+    }
+
+    /// Checks structural sanity: every node except the root has exactly one
+    /// parent, children counts are within `k`, and `key_gap` is in range.
+    pub fn validate(&self, k: usize) -> Result<(), String> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.root];
+        let mut visited = 0usize;
+        while let Some(v) = stack.pop() {
+            let v = v as usize;
+            if seen[v] {
+                return Err(format!("shape node {v} reached twice"));
+            }
+            seen[v] = true;
+            visited += 1;
+            if self.children[v].len() > k {
+                return Err(format!(
+                    "shape node {v} has {} > k = {k} children",
+                    self.children[v].len()
+                ));
+            }
+            if (self.key_gap[v] as usize) > self.children[v].len() {
+                return Err(format!("shape node {v} key_gap out of range"));
+            }
+            for &c in &self.children[v] {
+                stack.push(c);
+            }
+        }
+        if visited != n {
+            return Err(format!("only {visited} of {n} shape nodes reachable"));
+        }
+        Ok(())
+    }
+
+    /// Appends a complete k-ary subtree shape on `n >= 1` nodes into this
+    /// arena and returns its root shape id (used to assemble composite
+    /// topologies such as the centroid (k+1)-SplayNet).
+    pub fn push_balanced_subtree(&mut self, n: usize, k: usize) -> u32 {
+        assert!(n >= 1);
+        build_complete(self, n, k)
+    }
+
+    /// Appends a single childless shape node and returns its id.
+    pub fn push_leaf(&mut self) -> u32 {
+        let id = self.children.len() as u32;
+        self.children.push(Vec::new());
+        self.key_gap.push(0);
+        id
+    }
+
+    /// Depth of every node (root = 0).
+    pub fn depths(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.len()];
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            for &c in &self.children[v as usize] {
+                d[c as usize] = d[v as usize] + 1;
+                stack.push(c);
+            }
+        }
+        d
+    }
+
+    /// Height (max depth) of the shape; 0 for a single node.
+    pub fn height(&self) -> u32 {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Splits `n` nodes of a complete k-ary tree into the sizes of the root's
+/// child subtrees (last level filled left to right).
+pub fn complete_child_sizes(n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(n >= 1);
+    let rest = n - 1;
+    if rest == 0 {
+        return Vec::new();
+    }
+    // Height h of the whole tree: smallest h with cap(h) >= n, where
+    // cap(h) = 1 + k + ... + k^h.
+    let mut cap = 1usize; // cap(0)
+    let mut level_cap = 1usize; // k^0
+    let mut h = 0usize;
+    while cap < n {
+        h += 1;
+        level_cap = level_cap.saturating_mul(k);
+        cap = cap.saturating_add(level_cap);
+    }
+    if h == 0 {
+        return Vec::new();
+    }
+    // Each child is a tree of height <= h - 1. Fully-interior part per child:
+    // cap(h - 2) nodes; the last level (k^{h-1} slots per child) is filled
+    // left to right.
+    let mut interior_child = 0usize; // cap(h-2)
+    let mut lc = 1usize;
+    for _ in 0..h.saturating_sub(1) {
+        interior_child += lc;
+        lc *= k;
+    }
+    let last_per_child = lc; // k^{h-1}
+    let interior_total = interior_child * k;
+    let last_total = rest.saturating_sub(interior_total);
+    debug_assert!(rest >= interior_total, "n={n} k={k} h={h}");
+    let mut sizes = Vec::with_capacity(k);
+    let mut remaining_last = last_total;
+    for _ in 0..k {
+        let take = remaining_last.min(last_per_child);
+        remaining_last -= take;
+        let s = interior_child + take;
+        if s > 0 {
+            sizes.push(s);
+        }
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), rest);
+    sizes
+}
+
+fn build_complete(shape: &mut ShapeTree, n: usize, k: usize) -> u32 {
+    let id = shape.children.len() as u32;
+    shape.children.push(Vec::new());
+    shape.key_gap.push(0);
+    let sizes = complete_child_sizes(n, k);
+    let mut kids = Vec::with_capacity(sizes.len());
+    for s in &sizes {
+        kids.push(build_complete(shape, *s, k));
+    }
+    let gap = kids.len().div_ceil(2);
+    shape.children[id as usize] = kids;
+    shape.key_gap[id as usize] = gap as u8;
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_sizes_sum() {
+        for k in 2..=10 {
+            for n in 1..200 {
+                let sizes = complete_child_sizes(n, k);
+                assert_eq!(sizes.iter().sum::<usize>(), n - 1, "n={n} k={k}");
+                assert!(sizes.len() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_height_is_logarithmic() {
+        for k in 2..=10usize {
+            for n in [1usize, 2, 10, 100, 1000] {
+                let s = ShapeTree::balanced_kary(n, k);
+                assert_eq!(s.len(), n);
+                s.validate(k).unwrap();
+                // height <= ceil(log_k(n(k-1)+1)) (complete tree bound)
+                let mut cap = 1usize;
+                let mut lvl = 1usize;
+                let mut h = 0u32;
+                while cap < n {
+                    lvl *= k;
+                    cap += lvl;
+                    h += 1;
+                }
+                assert_eq!(s.height(), h, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_tree_is_level_filled() {
+        // All levels except the last are full.
+        for k in 2..=5usize {
+            for n in [7usize, 13, 40, 121] {
+                let s = ShapeTree::balanced_kary(n, k);
+                let depths = s.depths();
+                let h = s.height();
+                for lvl in 0..h {
+                    let cnt = depths.iter().filter(|&&d| d == lvl).count();
+                    assert_eq!(cnt, k.pow(lvl), "level {lvl} of n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_subtree_and_leaf_compose() {
+        let mut s = ShapeTree {
+            children: Vec::new(),
+            key_gap: Vec::new(),
+            root: 0,
+        };
+        let root = s.push_leaf();
+        let a = s.push_balanced_subtree(7, 3);
+        let b = s.push_balanced_subtree(4, 3);
+        s.children[root as usize] = vec![a, b];
+        s.key_gap[root as usize] = 1;
+        s.root = root;
+        assert_eq!(s.len(), 12);
+        s.validate(3).unwrap();
+        let mut keys = s.assign_keys(1);
+        keys.sort_unstable();
+        assert_eq!(keys, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validate_rejects_overfull_nodes() {
+        let mut s = ShapeTree {
+            children: Vec::new(),
+            key_gap: Vec::new(),
+            root: 0,
+        };
+        let root = s.push_leaf();
+        let kids: Vec<u32> = (0..4).map(|_| s.push_leaf()).collect();
+        s.children[root as usize] = kids;
+        s.root = root;
+        assert!(s.validate(3).is_err(), "4 children must not validate at k=3");
+        assert!(s.validate(4).is_ok());
+    }
+
+    #[test]
+    fn keys_are_a_permutation() {
+        for k in 2..=6 {
+            for n in [1usize, 5, 37, 100] {
+                let s = ShapeTree::balanced_kary(n, k);
+                let mut keys = s.assign_keys(1);
+                keys.sort_unstable();
+                let want: Vec<NodeKey> = (1..=n as NodeKey).collect();
+                assert_eq!(keys, want, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn inorder_keys_respect_child_order() {
+        // For every node: keys of child i are all smaller than keys of
+        // child i+1, and the own key sits in gap `key_gap`.
+        for (n, k) in [(37usize, 3usize), (100, 5), (64, 2)] {
+            let s = ShapeTree::balanced_kary(n, k);
+            let keys = s.assign_keys(1);
+            let sizes = s.subtree_sizes();
+            fn min_max(
+                s: &ShapeTree,
+                keys: &[NodeKey],
+                v: u32,
+            ) -> (NodeKey, NodeKey) {
+                let mut lo = keys[v as usize];
+                let mut hi = keys[v as usize];
+                for &c in &s.children[v as usize] {
+                    let (a, b) = min_max(s, keys, c);
+                    lo = lo.min(a);
+                    hi = hi.max(b);
+                }
+                (lo, hi)
+            }
+            for v in 0..n as u32 {
+                let cs = &s.children[v as usize];
+                let mut prev_hi = 0;
+                for (i, &c) in cs.iter().enumerate() {
+                    let (lo, hi) = min_max(&s, &keys, c);
+                    assert!(lo > prev_hi);
+                    if i == s.key_gap[v as usize] as usize {
+                        assert!(keys[v as usize] < lo);
+                    }
+                    if i + 1 == s.key_gap[v as usize] as usize {
+                        assert!(keys[v as usize] > hi);
+                    }
+                    prev_hi = hi;
+                }
+            }
+            let _ = sizes;
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Splaying discipline: move a node up to a boundary using k-splay double
+//! steps with a final k-semi-splay, exactly mirroring the classic splay-tree
+//! discipline (zig-zig/zig-zag doubles with a final zig) whose potential
+//! argument Theorem 12 transfers to the k-ary rotations.
+
+use crate::key::{NodeIdx, NIL};
+use crate::restructure::{RestructureStats, WindowPolicy};
+use crate::tree::KstTree;
+
+/// How a node is moved toward its target position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplayStrategy {
+    /// k-splay double steps + final k-semi-splay (the paper's k-ary
+    /// SplayNet; amortized-optimal per Theorem 12). Equivalent to
+    /// `Deep(3)`.
+    #[default]
+    KSplay,
+    /// Only single-level k-semi-splays (naive move-to-root; ablation
+    /// baseline without the amortized guarantee). Equivalent to `Deep(2)`.
+    SemiOnly,
+    /// Generalized rotations over paths of up to `d ≥ 2` nodes per step —
+    /// the paper's "take any d connected nodes" alternative (end of
+    /// Section 4.1). Each step promotes the target `d − 1` levels.
+    Deep(u8),
+}
+
+impl SplayStrategy {
+    /// Nodes per restructure step.
+    fn span(self) -> usize {
+        match self {
+            SplayStrategy::KSplay => 3,
+            SplayStrategy::SemiOnly => 2,
+            SplayStrategy::Deep(d) => (d as usize).max(2),
+        }
+    }
+}
+
+/// Aggregate cost of a splay walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SplayStats {
+    /// Elementary rotations performed (a k-semi-splay counts 1, a k-splay
+    /// counts 2 — the unit-cost rotations of Section 5, in the same units
+    /// as classic splay-tree rotation counts).
+    pub rotations: u64,
+    /// Total physical links changed.
+    pub links_changed: u64,
+}
+
+impl SplayStats {
+    fn add(&mut self, r: RestructureStats) {
+        self.rotations += r.rotations;
+        self.links_changed += r.links_changed;
+    }
+}
+
+impl KstTree {
+    /// Splays `z` upward until its parent is `boundary` (`NIL` splays to the
+    /// root). All restructures happen strictly below `boundary`, which is
+    /// never moved. Panics if `boundary` is not an ancestor of `z`.
+    pub fn splay_until(
+        &mut self,
+        z: NodeIdx,
+        boundary: NodeIdx,
+        strategy: SplayStrategy,
+        policy: WindowPolicy,
+    ) -> SplayStats {
+        let span = strategy.span();
+        let mut stats = SplayStats::default();
+        let mut path: Vec<NodeIdx> = Vec::with_capacity(span);
+        loop {
+            let p = self.parent(z);
+            if p == boundary {
+                return stats;
+            }
+            debug_assert!(p != NIL, "boundary was not an ancestor of z");
+            // Collect up to `span` nodes of the path above z (top first).
+            path.clear();
+            path.push(z);
+            let mut top = z;
+            while path.len() < span {
+                let q = self.parent(top);
+                if q == boundary {
+                    break;
+                }
+                debug_assert!(q != NIL, "boundary was not an ancestor of z");
+                top = q;
+                path.push(q);
+            }
+            path.reverse();
+            stats.add(self.restructure(&path, policy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::validate;
+
+    #[test]
+    fn splay_to_root_makes_root() {
+        for k in [2usize, 3, 7] {
+            let mut t = KstTree::balanced(k, 150);
+            for key in [1u32, 75, 150, 33] {
+                let v = t.node_of(key);
+                let stats = t.splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+                assert_eq!(t.root(), v);
+                assert!(t.depth(v) == 0);
+                if k > 0 {
+                    let _ = stats;
+                }
+                validate(&t).unwrap_or_else(|e| panic!("k={k} key={key}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn splay_until_boundary_stops_below_it() {
+        let mut t = KstTree::balanced(3, 200);
+        let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+        // choose boundary = grandparent of the midpoint of the path
+        let mut b = deepest;
+        for _ in 0..2 {
+            b = t.parent(b);
+        }
+        let b = t.parent(b);
+        let b_parent = t.parent(b);
+        let b_depth = t.depth(b);
+        t.splay_until(deepest, b, SplayStrategy::KSplay, WindowPolicy::Paper);
+        validate(&t).unwrap();
+        assert_eq!(t.parent(deepest), b);
+        assert_eq!(t.parent(b), b_parent, "boundary must not move");
+        assert_eq!(t.depth(b), b_depth);
+    }
+
+    #[test]
+    fn semi_only_strategy_also_reaches_target() {
+        let mut t = KstTree::balanced(2, 127);
+        let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+        let stats = t.splay_until(deepest, NIL, SplayStrategy::SemiOnly, WindowPolicy::Paper);
+        assert_eq!(t.root(), deepest);
+        // One semi-splay per level.
+        assert!(stats.rotations >= 6);
+        validate(&t).unwrap();
+    }
+
+    #[test]
+    fn deep_strategies_reach_target_and_keep_invariants() {
+        for d in [2u8, 3, 4, 5, 6] {
+            let mut t = KstTree::balanced(2, 255);
+            let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
+            let stats =
+                t.splay_until(deepest, NIL, SplayStrategy::Deep(d), WindowPolicy::Paper);
+            assert_eq!(t.root(), deepest, "d={d}");
+            assert!(stats.rotations > 0);
+            validate(&t).unwrap_or_else(|e| panic!("d={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deep3_equals_ksplay() {
+        // Deep(3) must be exactly the KSplay strategy.
+        let mut a = KstTree::balanced(3, 200);
+        let mut b = KstTree::balanced(3, 200);
+        let mut x = 13u64;
+        for _ in 0..100 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 200) as NodeIdx;
+            let sa = a.splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+            let sb = b.splay_until(v, NIL, SplayStrategy::Deep(3), WindowPolicy::Paper);
+            assert_eq!(sa, sb);
+        }
+        for v in a.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+            assert_eq!(a.children(v), b.children(v));
+        }
+    }
+
+    #[test]
+    fn repeated_splays_shrink_access_path() {
+        // Splaying the same key twice in a row: second access is depth 0.
+        let mut t = KstTree::balanced(4, 300);
+        let v = t.node_of(123);
+        t.splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+        assert_eq!(t.depth(v), 0);
+        let w = t.node_of(7);
+        t.splay_until(w, NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+        // previously-splayed node stays shallow (a hallmark of splaying)
+        assert!(t.depth(v) <= 2);
+        validate(&t).unwrap();
+    }
+}

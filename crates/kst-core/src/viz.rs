@@ -1,0 +1,100 @@
+//! ASCII rendering of small trees, for examples and debugging.
+
+use crate::key::{NodeIdx, NIL};
+use crate::tree::KstTree;
+
+/// Renders the tree as an indented outline, children in slot order.
+pub fn render(t: &KstTree) -> String {
+    let mut out = String::new();
+    render_node(t, t.root(), 0, &mut out);
+    out
+}
+
+fn render_node(t: &KstTree, v: NodeIdx, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(out, "{indent}• key {}", t.key_of(v));
+    for (j, &c) in t.children(v).iter().enumerate() {
+        if c != NIL {
+            let _ = writeln!(out, "{indent}  [slot {j}]");
+            render_node(t, c, depth + 2, out);
+        }
+    }
+}
+
+/// Renders the tree in Graphviz DOT format: nodes labelled by key, edges
+/// annotated with slot indices, routing arrays shown in tooltips.
+pub fn to_dot(t: &KstTree) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("digraph kst {\n  node [shape=circle];\n");
+    for v in t.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", tooltip=\"elems: {:?}\"];",
+            v,
+            t.key_of(v),
+            t.elems(v)
+        );
+    }
+    for v in t.nodes() {
+        for (j, &c) in t.children(v).iter().enumerate() {
+            if c != NIL {
+                let _ = writeln!(out, "  n{v} -> n{c} [label=\"{j}\"];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-line summary: n, k, height, average depth.
+pub fn summary(t: &KstTree) -> String {
+    let n = t.n();
+    let mut total = 0usize;
+    let mut h = 0usize;
+    for v in t.nodes() {
+        let d = t.depth(v);
+        total += d;
+        h = h.max(d);
+    }
+    format!(
+        "n={} k={} height={} avg_depth={:.2}",
+        n,
+        t.k(),
+        h,
+        total as f64 / n as f64
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_keys() {
+        let t = KstTree::balanced(3, 13);
+        let s = render(&t);
+        for key in 1..=13u32 {
+            assert!(s.contains(&format!("key {key}")));
+        }
+    }
+
+    #[test]
+    fn summary_mentions_params() {
+        let t = KstTree::balanced(4, 21);
+        let s = summary(&t);
+        assert!(s.contains("n=21") && s.contains("k=4"));
+    }
+
+    #[test]
+    fn dot_export_has_all_nodes_and_edges() {
+        let t = KstTree::balanced(3, 9);
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        for key in 1..=9u32 {
+            assert!(dot.contains(&format!("label=\"{key}\"")));
+        }
+        // a tree on 9 nodes has 8 edges
+        assert_eq!(dot.matches(" -> ").count(), 8);
+    }
+}

@@ -1,0 +1,343 @@
+//! Shared experiment definitions: the paper's workload catalog (Section 5
+//! "Setup and data") and the computations behind each table, reused by the
+//! `kst-bench` binaries and the integration tests.
+
+use crate::metrics::Metrics;
+use crate::par::par_map;
+use crate::runner::run;
+use kst_core::{KPlusOneSplayNet, KSplayNet, Network};
+use kst_statics::{
+    centroid_tree, full_kary, optimal_bst_knuth_slack, optimal_routing_based_tree, DistTree,
+    StaticNet,
+};
+use kst_workloads::{gens, stats, DemandMatrix, Trace, TraceStats};
+use splaynet_classic::ClassicSplayNet;
+
+/// Experiment scaling knobs (env-overridable so CI can run small).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Requests per trace (paper: 10⁶). Env: `KSAN_REQUESTS`.
+    pub requests: usize,
+    /// Facebook workload node count (paper: 10⁴). Env: `KSAN_FACEBOOK_N`.
+    pub facebook_n: usize,
+    /// Largest n for which the exact O(n³k) DP is attempted.
+    /// Env: `KSAN_DP_LIMIT`.
+    pub dp_limit: usize,
+    /// Worker threads. Env: `KSAN_THREADS`.
+    pub threads: usize,
+    /// Base RNG seed. Env: `KSAN_SEED`.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale {
+            requests: 1_000_000,
+            facebook_n: 10_000,
+            dp_limit: 1100,
+            threads: crate::par::default_threads(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads overrides from the environment.
+    pub fn from_env() -> Scale {
+        let mut s = Scale::default();
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = get("KSAN_REQUESTS") {
+            s.requests = v;
+        }
+        if let Some(v) = get("KSAN_FACEBOOK_N") {
+            s.facebook_n = v;
+        }
+        if let Some(v) = get("KSAN_DP_LIMIT") {
+            s.dp_limit = v;
+        }
+        if let Some(v) = get("KSAN_THREADS") {
+            s.threads = v;
+        }
+        if let Some(v) = std::env::var("KSAN_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+            s.seed = v;
+        }
+        s
+    }
+
+    /// A small configuration for tests.
+    pub fn tiny(requests: usize) -> Scale {
+        Scale {
+            requests,
+            facebook_n: 256,
+            dp_limit: 128,
+            threads: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The eight evaluation workloads of Section 5.
+pub const WORKLOADS: [&str; 8] = [
+    "uniform", "hpc", "projector", "facebook", "t025", "t05", "t075", "t09",
+];
+
+/// Instantiates a named workload at the given scale.
+pub fn workload(name: &str, scale: &Scale) -> Trace {
+    let m = scale.requests;
+    let s = scale.seed;
+    match name {
+        "uniform" => gens::uniform(100, m, s),
+        "hpc" => gens::hpc(500, m, s ^ 1),
+        "projector" => gens::projector(100, m, s ^ 2),
+        "facebook" => gens::facebook(scale.facebook_n, m, s ^ 3),
+        "t025" => gens::temporal(1023, m, 0.25, s ^ 4),
+        "t05" => gens::temporal(1023, m, 0.5, s ^ 5),
+        "t075" => gens::temporal(1023, m, 0.75, s ^ 6),
+        "t09" => gens::temporal(1023, m, 0.9, s ^ 7),
+        other => panic!("unknown workload `{other}` (expected one of {WORKLOADS:?})"),
+    }
+}
+
+/// Human-readable description used in reports.
+pub fn workload_label(name: &str) -> &'static str {
+    match name {
+        "uniform" => "Uniform (n=100)",
+        "hpc" => "HPC (simulated, n=500)",
+        "projector" => "ProjecToR (simulated, n=100)",
+        "facebook" => "Facebook (simulated)",
+        "t025" => "Temporal 0.25 (n=1023)",
+        "t05" => "Temporal 0.5 (n=1023)",
+        "t075" => "Temporal 0.75 (n=1023)",
+        "t09" => "Temporal 0.9 (n=1023)",
+        _ => "unknown",
+    }
+}
+
+/// One column of Tables 1–7: everything measured for a single arity k.
+#[derive(Debug, Clone)]
+pub struct KaryCell {
+    /// Arity.
+    pub k: usize,
+    /// k-ary SplayNet metrics over the whole trace.
+    pub splaynet: Metrics,
+    /// Total routing cost of the static full k-ary tree.
+    pub full_tree: u64,
+    /// Total routing cost of the optimal static routing-based k-ary tree
+    /// (None when n exceeds the DP limit, as in the paper's Table 3).
+    pub optimal: Option<u64>,
+}
+
+/// Tables 1–7 for one workload: k-ary SplayNet vs static trees, k ∈ \[2,10\].
+#[derive(Debug, Clone)]
+pub struct KaryTable {
+    /// Workload name.
+    pub workload: String,
+    /// Trace statistics (locality evidence for EXPERIMENTS.md).
+    pub stats: TraceStats,
+    /// One cell per k = 2..=10.
+    pub cells: Vec<KaryCell>,
+}
+
+/// Runs the Tables 1–7 experiment for a workload.
+pub fn kary_table(name: &str, scale: &Scale) -> KaryTable {
+    let trace = workload(name, scale);
+    let st = stats::stats(&trace);
+    let n = trace.n();
+    let demand = DemandMatrix::from_trace(&trace);
+    let ks: Vec<usize> = (2..=10).collect();
+    let cells = par_map(ks, scale.threads, |k| {
+        let mut net = KSplayNet::balanced(k, n);
+        let splaynet = run(&mut net, &trace);
+        let full = full_kary(n, k).cost_on_trace(&trace);
+        let optimal = if n <= scale.dp_limit {
+            let (t, _) = optimal_routing_based_tree(&demand, k);
+            Some(t.cost_on_trace(&trace))
+        } else {
+            None
+        };
+        KaryCell {
+            k,
+            splaynet,
+            full_tree: full,
+            optimal,
+        }
+    });
+    KaryTable {
+        workload: name.to_string(),
+        stats: st,
+        cells,
+    }
+}
+
+/// One row of Table 8: 3-SplayNet vs SplayNet vs static binary trees.
+///
+/// The comparison metric is the paper's **unit cost** per request —
+/// routing plus rotations, each at cost one ("In all our experiments, we
+/// set the routing and rotation costs to one", Section 5); static trees
+/// have zero rotation cost. Routing-only totals remain available in the
+/// embedded [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct Table8Row {
+    /// Workload name.
+    pub workload: String,
+    /// Trace statistics.
+    pub stats: TraceStats,
+    /// 3-SplayNet (centroid heuristic, k = 2) metrics.
+    pub three_splay: Metrics,
+    /// Classic SplayNet metrics.
+    pub splaynet: Metrics,
+    /// Full (complete) binary tree total routing cost.
+    pub full_binary: u64,
+    /// Static optimal BST total routing cost; `exact` is false when the
+    /// Knuth-slack near-optimal heuristic was used (n too large).
+    pub optimal: u64,
+    /// Whether `optimal` came from the exact DP.
+    pub optimal_exact: bool,
+}
+
+/// Runs the Table 8 experiment for one workload.
+pub fn table8_row(name: &str, scale: &Scale) -> Table8Row {
+    let trace = workload(name, scale);
+    let st = stats::stats(&trace);
+    let n = trace.n();
+    let demand = DemandMatrix::from_trace(&trace);
+
+    // Run the two online nets and the two static trees in parallel.
+    enum Out {
+        Net(Metrics),
+        Cost(u64, bool),
+    }
+    let trace_ref = &trace;
+    let demand_ref = &demand;
+    let jobs: Vec<Box<dyn FnOnce() -> Out + Send>> = vec![
+        Box::new(move || {
+            let mut net = KPlusOneSplayNet::new(2, n);
+            Out::Net(run(&mut net, trace_ref))
+        }),
+        Box::new(move || {
+            let mut net = ClassicSplayNet::balanced(n);
+            Out::Net(run(&mut net, trace_ref))
+        }),
+        Box::new(move || Out::Cost(full_kary(n, 2).cost_on_trace(trace_ref), true)),
+        Box::new(move || {
+            if n <= scale.dp_limit {
+                let (t, _) = optimal_routing_based_tree(demand_ref, 2);
+                Out::Cost(t.cost_on_trace(trace_ref), true)
+            } else {
+                let (t, _) = optimal_bst_knuth_slack(demand_ref, 16);
+                Out::Cost(t.cost_on_trace(trace_ref), false)
+            }
+        }),
+    ];
+    let mut outs = par_map(jobs, scale.threads, |j| j());
+    let (mut three, mut splay, mut full, mut opt, mut exact) =
+        (Metrics::default(), Metrics::default(), 0u64, 0u64, true);
+    // outputs arrive in input order
+    for (i, o) in outs.drain(..).enumerate() {
+        match (i, o) {
+            (0, Out::Net(m)) => three = m,
+            (1, Out::Net(m)) => splay = m,
+            (2, Out::Cost(c, _)) => full = c,
+            (3, Out::Cost(c, e)) => {
+                opt = c;
+                exact = e;
+            }
+            _ => unreachable!(),
+        }
+    }
+    Table8Row {
+        workload: name.to_string(),
+        stats: st,
+        three_splay: three,
+        splaynet: splay,
+        full_binary: full,
+        optimal: opt,
+        optimal_exact: exact,
+    }
+}
+
+/// Builds every static structure for one workload and returns
+/// (label, total routing cost) pairs — used by examples.
+pub fn static_lineup(trace: &Trace, k: usize, dp_limit: usize) -> Vec<(String, u64)> {
+    let n = trace.n();
+    let demand = DemandMatrix::from_trace(trace);
+    let mut out = vec![
+        (
+            format!("full {k}-ary tree"),
+            full_kary(n, k).cost_on_trace(trace),
+        ),
+        (
+            format!("centroid {k}-ary tree"),
+            centroid_tree(n, k).cost_on_trace(trace),
+        ),
+    ];
+    if n <= dp_limit {
+        let (t, _) = optimal_routing_based_tree(&demand, k);
+        out.push((format!("optimal {k}-ary tree (DP)"), t.cost_on_trace(trace)));
+    }
+    out
+}
+
+/// Convenience wrapper: run any network on a trace.
+pub fn run_network<N: Network>(mut net: N, trace: &Trace) -> Metrics {
+    run(&mut net, trace)
+}
+
+/// Rebuild policy for [`kst_core::LazyKaryNet`]: the optimal static
+/// routing-based tree (Theorem 2's DP) on the epoch's observed demand.
+pub fn optimal_rebuilder(k: usize) -> impl FnMut(usize, &[u64]) -> kst_core::ShapeTree {
+    move |n, counts| {
+        let demand = DemandMatrix::from_counts(n, counts);
+        kst_statics::optimal_routing_based(&demand, k).shape
+    }
+}
+
+/// Rebuild policy: the demand-oblivious centroid tree (Theorem 8).
+pub fn centroid_rebuilder(k: usize) -> impl FnMut(usize, &[u64]) -> kst_core::ShapeTree {
+    move |n, _| kst_statics::centroid_shape(n, k)
+}
+
+/// Adapter making a static `DistTree` a servable network.
+pub fn static_net(tree: DistTree, name: &str) -> StaticNet {
+    StaticNet::new(tree, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_catalog_instantiates() {
+        let scale = Scale::tiny(2000);
+        for name in WORKLOADS {
+            let t = workload(name, &scale);
+            assert_eq!(t.len(), 2000, "{name}");
+            assert!(t.n() >= 100, "{name}");
+        }
+    }
+
+    #[test]
+    fn kary_table_small_run_has_expected_shape() {
+        let mut scale = Scale::tiny(3000);
+        scale.dp_limit = 0; // skip the DP for speed here
+        let table = kary_table("t05", &scale);
+        assert_eq!(table.cells.len(), 9);
+        // monotone trend: k=10 routes cheaper than k=2 on temporal traffic
+        let c2 = table.cells[0].splaynet.routing;
+        let c10 = table.cells[8].splaynet.routing;
+        assert!(c10 < c2, "k=10 ({c10}) should beat k=2 ({c2})");
+    }
+
+    #[test]
+    fn table8_row_small_run() {
+        let scale = Scale::tiny(3000);
+        let row = table8_row("uniform", &scale);
+        assert_eq!(row.three_splay.requests, 3000);
+        assert_eq!(row.splaynet.requests, 3000);
+        assert!(row.full_binary > 0);
+        assert!(row.optimal > 0);
+        assert!(row.optimal_exact);
+        // the optimal static tree is never beaten by the full tree
+        assert!(row.optimal <= row.full_binary);
+    }
+}

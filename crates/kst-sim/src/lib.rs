@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # kst-sim — self-adjusting-network simulator and experiment harness
+//!
+//! Implements the paper's cost model (Section 2) and evaluation machinery
+//! (Section 5):
+//! * [`metrics::Metrics`] — routing / rotation / link-change accounting;
+//! * [`runner`] — drive any [`kst_core::Network`] through a trace;
+//! * [`par`] — scoped-thread parallel map for experiment grids;
+//! * [`experiments`] — the paper's workload catalog and per-table
+//!   computations (shared by the `kst-bench` binaries and integration
+//!   tests);
+//! * [`table`] — report formatting in the paper's table style.
+
+pub mod experiments;
+pub mod metrics;
+pub mod par;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{kary_table, table8_row, workload, Scale, WORKLOADS};
+pub use metrics::Metrics;
+pub use runner::{run, run_checked, run_windowed};

@@ -1,0 +1,100 @@
+//! Aggregate metrics of a simulation run (the paper's cost model,
+//! Section 2: total service cost = routing + reconfiguration).
+
+use kst_core::ServeCost;
+
+/// Accumulated costs over a request sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Requests served.
+    pub requests: u64,
+    /// Total routing cost (path lengths in the pre-adjustment topologies).
+    pub routing: u64,
+    /// Total rotations performed (the paper's unit-cost adjustment measure,
+    /// Section 5: "we set the routing and rotation costs to one").
+    pub rotations: u64,
+    /// Total physical links changed (the model's adjustment cost measured
+    /// in edges added/removed, Section 2).
+    pub links_changed: u64,
+}
+
+impl Metrics {
+    /// Folds one request's cost in.
+    pub fn absorb(&mut self, c: ServeCost) {
+        self.requests += 1;
+        self.routing += c.routing;
+        self.rotations += c.rotations;
+        self.links_changed += c.links_changed;
+    }
+
+    /// Mean routing cost per request.
+    pub fn avg_routing(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.routing as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean rotations per request.
+    pub fn avg_rotations(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.rotations as f64 / self.requests as f64
+        }
+    }
+
+    /// Total cost under the paper's experimental unit model
+    /// (routing + rotations, each at unit cost).
+    pub fn total_unit_cost(&self) -> u64 {
+        self.routing + self.rotations
+    }
+
+    /// Merges two metric sets (for sharded runs).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.requests += other.requests;
+        self.routing += other.routing;
+        self.rotations += other.rotations;
+        self.links_changed += other.links_changed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_averages() {
+        let mut m = Metrics::default();
+        m.absorb(ServeCost {
+            routing: 4,
+            rotations: 2,
+            links_changed: 6,
+        });
+        m.absorb(ServeCost {
+            routing: 2,
+            rotations: 0,
+            links_changed: 0,
+        });
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.routing, 6);
+        assert!((m.avg_routing() - 3.0).abs() < 1e-12);
+        assert!((m.avg_rotations() - 1.0).abs() < 1e-12);
+        assert_eq!(m.total_unit_cost(), 8);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Metrics {
+            requests: 1,
+            routing: 2,
+            rotations: 3,
+            links_changed: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.links_changed, 8);
+    }
+}

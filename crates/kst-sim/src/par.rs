@@ -1,0 +1,91 @@
+//! Minimal scoped-thread parallel map for experiment sweeps.
+//!
+//! Experiments sweep a grid (arity k × workload × topology); cells are
+//! independent, CPU-bound, and coarse (seconds each), so a simple
+//! chunk-per-thread scoped map is the right tool — no work stealing
+//! needed, no unsafe, no extra dependencies (`std::thread::scope`
+//! guarantees the borrows outlive the threads).
+
+/// Applies `f` to every item on up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Wrap items in Options so workers can take them by index.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken twice");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker died before finishing"))
+        .collect()
+}
+
+/// Number of worker threads to use (available parallelism, floor 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), 4, |x: i32| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn all_items_processed_with_more_threads_than_items() {
+        let out = par_map(vec![5, 6], 16, |x| x);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_in_parallel_without_corruption() {
+        let out = par_map((0..32u64).collect(), default_threads(), |x| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

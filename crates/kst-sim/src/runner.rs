@@ -1,0 +1,99 @@
+//! Driving a network through a trace.
+
+use crate::metrics::Metrics;
+use kst_core::Network;
+use kst_workloads::Trace;
+
+/// Serves the entire trace on `net`, returning accumulated metrics.
+pub fn run<N: Network>(net: &mut N, trace: &Trace) -> Metrics {
+    let mut m = Metrics::default();
+    for &(u, v) in trace.requests() {
+        m.absorb(net.serve(u, v));
+    }
+    m
+}
+
+/// Serves the trace while calling `check` every `every` requests (for
+/// invariant-checking integration tests).
+pub fn run_checked<N: Network>(
+    net: &mut N,
+    trace: &Trace,
+    every: usize,
+    mut check: impl FnMut(&N, usize),
+) -> Metrics {
+    let mut m = Metrics::default();
+    for (i, &(u, v)) in trace.requests().iter().enumerate() {
+        m.absorb(net.serve(u, v));
+        if every > 0 && (i + 1) % every == 0 {
+            check(net, i + 1);
+        }
+    }
+    m
+}
+
+/// Serves the trace and additionally returns per-window metrics (every
+/// `window` requests), for convergence analysis — e.g. how fast a
+/// self-adjusting network amortizes away a bad initial topology.
+pub fn run_windowed<N: Network>(
+    net: &mut N,
+    trace: &Trace,
+    window: usize,
+) -> (Metrics, Vec<Metrics>) {
+    assert!(window > 0);
+    let mut total = Metrics::default();
+    let mut windows = Vec::new();
+    let mut cur = Metrics::default();
+    for &(u, v) in trace.requests() {
+        let c = net.serve(u, v);
+        total.absorb(c);
+        cur.absorb(c);
+        if cur.requests as usize == window {
+            windows.push(cur);
+            cur = Metrics::default();
+        }
+    }
+    if cur.requests > 0 {
+        windows.push(cur);
+    }
+    (total, windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kst_core::KSplayNet;
+    use kst_workloads::gens;
+
+    #[test]
+    fn run_counts_all_requests() {
+        let trace = gens::uniform(32, 500, 1);
+        let mut net = KSplayNet::balanced(3, 32);
+        let m = run(&mut net, &trace);
+        assert_eq!(m.requests, 500);
+        assert!(m.routing > 0);
+    }
+
+    #[test]
+    fn windowed_runner_partitions_metrics() {
+        let trace = gens::temporal(64, 1000, 0.8, 3);
+        let mut net = KSplayNet::balanced(2, 64);
+        let (total, windows) = run_windowed(&mut net, &trace, 250);
+        assert_eq!(windows.len(), 4);
+        let sum: u64 = windows.iter().map(|w| w.routing).sum();
+        assert_eq!(sum, total.routing);
+        // locality means later windows are cheaper than the first
+        assert!(windows.last().unwrap().routing <= windows[0].routing);
+    }
+
+    #[test]
+    fn checked_runner_invokes_callback() {
+        let trace = gens::uniform(16, 100, 2);
+        let mut net = KSplayNet::balanced(2, 16);
+        let mut calls = 0;
+        run_checked(&mut net, &trace, 25, |n, _| {
+            kst_core::invariants::validate(n.tree()).unwrap();
+            calls += 1;
+        });
+        assert_eq!(calls, 4);
+    }
+}

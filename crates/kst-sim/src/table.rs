@@ -1,0 +1,91 @@
+//! Plain-text / markdown table rendering for experiment reports.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+}
+
+/// Formats a ratio the way the paper's tables do (`0.87x`).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a float with 3 decimals (Table 8's average costs).
+pub fn avg(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["k", "cost"]);
+        t.row(vec!["2".into(), "100".into()]);
+        t.row(vec!["10".into(), "42".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| k "));
+        assert!(md.lines().count() == 4);
+        assert!(md.contains("| 10"));
+    }
+
+    #[test]
+    fn ratio_format_matches_paper_style() {
+        assert_eq!(ratio(0.87), "0.87x");
+        assert_eq!(avg(17.7301), "17.730");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new(&["a", "b"]).row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,51 @@
+//! The demand-oblivious static baseline: the complete ("full") k-ary
+//! search tree of Section 5 / Lemma 9.
+
+use crate::eval::DistTree;
+use kst_core::shape::ShapeTree;
+
+/// Builds the complete k-ary search tree on `n` nodes as a static topology.
+pub fn full_kary(n: usize, k: usize) -> DistTree {
+    DistTree::from_shape(&ShapeTree::balanced_kary(n, k))
+}
+
+/// Closed-form leading term of the full tree's uniform total distance
+/// (Lemma 36): `n² · log_k n` — used by the Lemma 9 bench to check the
+/// measured totals have the right shape.
+pub fn lemma9_leading_term(n: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    nf * nf * nf.ln() / (k as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tree_heights() {
+        assert_eq!(full_kary(1, 2).height(), 0);
+        assert_eq!(full_kary(3, 2).height(), 1);
+        assert_eq!(full_kary(7, 2).height(), 2);
+        assert_eq!(full_kary(13, 3).height(), 2);
+        assert_eq!(full_kary(121, 3).height(), 4);
+    }
+
+    #[test]
+    fn lemma9_shape_holds_for_full_trees() {
+        // total distance / (n² log_k n) should approach a constant ≈ 1
+        for k in [2usize, 3, 5] {
+            let mut ratios = Vec::new();
+            for n in [200usize, 400, 800] {
+                let t = full_kary(n, k);
+                let ratio = t.total_distance_uniform() as f64 / lemma9_leading_term(n, k);
+                ratios.push(ratio);
+            }
+            for r in &ratios {
+                assert!(
+                    (0.5..1.6).contains(r),
+                    "k={k}: ratio {r} outside plausible band (O(n²) correction)"
+                );
+            }
+        }
+    }
+}

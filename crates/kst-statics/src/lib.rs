@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # kst-statics — offline static k-ary search tree networks
+//!
+//! The paper's Section 3 (+ Appendices A–B):
+//! * [`dp_general`] — optimal static **routing-based** k-ary search tree
+//!   for an arbitrary demand matrix in O(n³·k) (Theorem 2);
+//! * [`dp_uniform`] — optimal tree for the uniform workload in O(n²·k)
+//!   (Theorem 4);
+//! * [`centroid`] — the linear-time centroid construction (Theorem 8,
+//!   Definition 5) underlying the online (k+1)-SplayNet;
+//! * [`full_tree`] — the complete k-ary tree baseline (Lemma 9);
+//! * [`knuth`] — k = 2 optimal BST with an optional Knuth-style
+//!   acceleration for large n (differentially validated);
+//! * [`eval`] — static topology evaluation ([`eval::DistTree`],
+//!   [`eval::StaticNet`]);
+//! * [`brute`] — exponential ground-truth enumeration for tests.
+
+pub mod brute;
+pub mod centroid;
+pub mod dp_general;
+pub mod dp_uniform;
+pub mod eval;
+pub mod full_tree;
+pub mod knuth;
+
+pub use centroid::{centroid_shape, centroid_subtree_sizes, centroid_tree};
+pub use dp_general::{optimal_routing_based, optimal_routing_based_tree, OptimalStatic};
+pub use dp_uniform::{optimal_uniform, optimal_uniform_tree, UniformOptimal};
+pub use eval::{DistTree, StaticNet};
+pub use full_tree::full_kary;
+pub use knuth::{optimal_bst_exact, optimal_bst_knuth, optimal_bst_knuth_slack};

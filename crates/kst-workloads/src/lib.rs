@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # kst-workloads — traces, demand matrices, and workload generators
+//!
+//! Implements the workload side of the paper's evaluation (Section 5):
+//! * [`trace::Trace`] / [`trace::DemandMatrix`] — the request-sequence and
+//!   offline-demand abstractions of the model (Section 2);
+//! * [`gens`] — seeded generators for the uniform and temporal-locality
+//!   synthetic workloads, plus simulated stand-ins for the three real
+//!   datacenter trace datasets (HPC mini-apps, ProjecToR, Facebook);
+//! * [`mod@stats`] — temporal/spatial locality measures used to verify that
+//!   simulated traces land in the regime the paper describes.
+
+pub mod gens;
+pub mod stats;
+pub mod trace;
+
+pub use stats::{entropy_bound_rhs, stats, TraceStats};
+pub use trace::{DemandMatrix, NodeKey, Trace};

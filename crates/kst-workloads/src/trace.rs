@@ -1,0 +1,273 @@
+//! Communication traces: the request sequences σ = (σ₁, σ₂, …) of the
+//! paper's model (Section 2).
+
+/// Node key type (mirrors `kst_core::NodeKey` without the dependency).
+pub type NodeKey = u32;
+
+/// A finite communication sequence over nodes `1..=n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    n: usize,
+    reqs: Vec<(NodeKey, NodeKey)>,
+}
+
+impl Trace {
+    /// Creates a trace, checking every endpoint is in `1..=n` and `u != v`.
+    pub fn new(n: usize, reqs: Vec<(NodeKey, NodeKey)>) -> Trace {
+        for &(u, v) in &reqs {
+            assert!(u >= 1 && u as usize <= n, "endpoint {u} out of range");
+            assert!(v >= 1 && v as usize <= n, "endpoint {v} out of range");
+            assert!(u != v, "self-request ({u},{u})");
+        }
+        Trace { n, reqs }
+    }
+
+    /// Number of network nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// True when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// The request sequence.
+    pub fn requests(&self) -> &[(NodeKey, NodeKey)] {
+        &self.reqs
+    }
+
+    /// Truncates to the first `m` requests (paper: "we restrict all
+    /// datasets to 10⁶ requests").
+    pub fn truncated(mut self, m: usize) -> Trace {
+        self.reqs.truncate(m);
+        self
+    }
+
+    /// Serializes as `u,v` CSV lines with a `# n=<n>` header.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.reqs.len() * 8 + 16);
+        s.push_str(&format!("# n={}\n", self.n));
+        for &(u, v) in &self.reqs {
+            s.push_str(&format!("{u},{v}\n"));
+        }
+        s
+    }
+
+    /// Parses the format produced by [`Trace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Trace, String> {
+        let mut n = 0usize;
+        let mut reqs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(v) = rest.trim().strip_prefix("n=") {
+                    n = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("line {}: bad n: {e}", lineno + 1))?;
+                }
+                continue;
+            }
+            let (a, b) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: expected `u,v`", lineno + 1))?;
+            let u: NodeKey = a
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let v: NodeKey = b
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            reqs.push((u, v));
+        }
+        if n == 0 {
+            n = reqs
+                .iter()
+                .map(|&(u, v)| u.max(v) as usize)
+                .max()
+                .unwrap_or(0);
+        }
+        Ok(Trace::new(n, reqs))
+    }
+}
+
+/// The n×n demand matrix D of the offline problem: `D[u][v]` counts
+/// requests from `u` to `v` (diagonal is zero by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandMatrix {
+    n: usize,
+    d: Vec<u64>,
+}
+
+impl DemandMatrix {
+    /// All-zero demand.
+    pub fn zeros(n: usize) -> DemandMatrix {
+        DemandMatrix {
+            n,
+            d: vec![0; n * n],
+        }
+    }
+
+    /// Aggregates a trace.
+    pub fn from_trace(trace: &Trace) -> DemandMatrix {
+        let mut m = DemandMatrix::zeros(trace.n());
+        for &(u, v) in trace.requests() {
+            m.d[(u as usize - 1) * m.n + (v as usize - 1)] += 1;
+        }
+        m
+    }
+
+    /// Wraps pre-aggregated flat row-major counts (`counts[u*n + v]` =
+    /// requests from key `u+1` to key `v+1`); the diagonal must be zero.
+    pub fn from_counts(n: usize, counts: &[u64]) -> DemandMatrix {
+        assert_eq!(counts.len(), n * n);
+        for u in 0..n {
+            assert_eq!(counts[u * n + u], 0, "diagonal must be zero");
+        }
+        DemandMatrix {
+            n,
+            d: counts.to_vec(),
+        }
+    }
+
+    /// The finite uniform workload of Section 3.2 / Appendix A.2: an upper
+    /// triangular all-ones matrix (each unordered pair requested once).
+    pub fn uniform(n: usize) -> DemandMatrix {
+        let mut m = DemandMatrix::zeros(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                m.d[u * n + v] = 1;
+            }
+        }
+        m
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Demand from key `u` to key `v` (1-based keys).
+    pub fn get(&self, u: NodeKey, v: NodeKey) -> u64 {
+        self.d[(u as usize - 1) * self.n + (v as usize - 1)]
+    }
+
+    /// Adds `w` requests from `u` to `v` (1-based keys).
+    pub fn add(&mut self, u: NodeKey, v: NodeKey, w: u64) {
+        assert!(u != v);
+        self.d[(u as usize - 1) * self.n + (v as usize - 1)] += w;
+    }
+
+    /// Demand between 0-based indices (row-major access for hot loops).
+    #[inline]
+    pub fn at(&self, u: usize, v: usize) -> u64 {
+        self.d[u * self.n + v]
+    }
+
+    /// Total number of requests.
+    pub fn total(&self) -> u64 {
+        self.d.iter().sum()
+    }
+
+    /// Symmetrized demand `D[u][v] + D[v][u]` at 0-based indices.
+    #[inline]
+    pub fn sym(&self, u: usize, v: usize) -> u64 {
+        self.at(u, v) + self.at(v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrip_csv() {
+        let t = Trace::new(5, vec![(1, 2), (3, 5), (2, 1)]);
+        let csv = t.to_csv();
+        let t2 = Trace::from_csv(&csv).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-request")]
+    fn trace_rejects_self_requests() {
+        Trace::new(3, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn demand_from_trace_counts() {
+        let t = Trace::new(4, vec![(1, 2), (1, 2), (4, 3)]);
+        let d = DemandMatrix::from_trace(&t);
+        assert_eq!(d.get(1, 2), 2);
+        assert_eq!(d.get(2, 1), 0);
+        assert_eq!(d.get(4, 3), 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn uniform_demand_is_upper_triangular() {
+        let d = DemandMatrix::uniform(4);
+        assert_eq!(d.total(), 6);
+        for u in 1..=4u32 {
+            for v in 1..=4u32 {
+                let want = u64::from(u < v);
+                assert_eq!(d.get(u, v), want);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation() {
+        let t = Trace::new(3, vec![(1, 2); 10]).truncated(4);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        assert!(Trace::from_csv("# n=3\n1;2\n").is_err());
+        assert!(Trace::from_csv("# n=3\nx,2\n").is_err());
+        assert!(Trace::from_csv("# n=zzz\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn csv_infers_n_when_header_missing() {
+        let t = Trace::from_csv("1,2\n5,3\n").unwrap();
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_ignores_blank_lines_and_comments() {
+        let t = Trace::from_csv("# n=4\n\n# comment\n1,4\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.n(), 4);
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let t = Trace::new(3, vec![(1, 2), (1, 2), (3, 1)]);
+        let d = DemandMatrix::from_trace(&t);
+        let flat: Vec<u64> = (0..3)
+            .flat_map(|u| (0..3).map(move |v| (u, v)))
+            .map(|(u, v)| d.at(u, v))
+            .collect();
+        let d2 = DemandMatrix::from_counts(3, &flat);
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must be zero")]
+    fn from_counts_rejects_diagonal() {
+        DemandMatrix::from_counts(2, &[1, 0, 0, 0]);
+    }
+}

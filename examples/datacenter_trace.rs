@@ -1,0 +1,82 @@
+//! Datacenter scenario: compare self-adjusting and static topologies on a
+//! simulated Facebook-style rack-to-rack trace (the Section 5 evaluation
+//! in miniature).
+//!
+//! ```sh
+//! cargo run --release --example datacenter_trace
+//! ```
+
+use ksan::prelude::*;
+use ksan::sim::table::Table;
+use ksan::workloads::stats;
+
+fn main() {
+    let n = 1024; // racks
+    let m = 200_000; // requests
+    let trace = gens::facebook(n, m, 2024);
+    let st = stats::stats(&trace);
+    println!(
+        "simulated Facebook trace: n={} m={} repeat-rate={:.3} src-entropy={:.2} bits ({} distinct pairs)\n",
+        st.n, st.m, st.repeat_rate, st.src_entropy, st.distinct_pairs
+    );
+
+    let mut tab = Table::new(&["network", "avg routing", "avg rotations", "avg unit cost"]);
+    let mf = m as f64;
+
+    // Online self-adjusting networks.
+    let mut k3 = KSplayNet::balanced(3, n);
+    let m3 = ksan::sim::run(&mut k3, &trace);
+    let mut k8 = KSplayNet::balanced(8, n);
+    let m8 = ksan::sim::run(&mut k8, &trace);
+    let mut centroid3 = KPlusOneSplayNet::new(2, n);
+    let mc = ksan::sim::run(&mut centroid3, &trace);
+    let mut classic = ClassicSplayNet::balanced(n);
+    let ms = ksan::sim::run(&mut classic, &trace);
+
+    for (name, met) in [
+        ("SplayNet (binary)", ms),
+        ("3-ary SplayNet", m3),
+        ("8-ary SplayNet", m8),
+        ("3-SplayNet (centroid)", mc),
+    ] {
+        tab.row(vec![
+            name.into(),
+            format!("{:.3}", met.avg_routing()),
+            format!("{:.3}", met.avg_rotations()),
+            format!("{:.3}", met.total_unit_cost() as f64 / mf),
+        ]);
+    }
+
+    // Static baselines (no rotations).
+    for (name, tree) in [
+        ("full binary tree (static)", full_kary(n, 2)),
+        ("full 8-ary tree (static)", full_kary(n, 8)),
+        ("centroid 3-ary tree (static)", centroid_tree(n, 3)),
+    ] {
+        let c = tree.cost_on_trace(&trace);
+        tab.row(vec![
+            name.into(),
+            format!("{:.3}", c as f64 / mf),
+            "0.000".into(),
+            format!("{:.3}", c as f64 / mf),
+        ]);
+    }
+
+    // The demand-aware optimal static tree (exact DP is fine at n=1024).
+    let demand = DemandMatrix::from_trace(&trace);
+    let (opt, _) = optimal_routing_based_tree(&demand, 3);
+    let c = opt.cost_on_trace(&trace);
+    tab.row(vec![
+        "optimal static 3-ary tree (DP)".into(),
+        format!("{:.3}", c as f64 / mf),
+        "0.000".into(),
+        format!("{:.3}", c as f64 / mf),
+    ]);
+
+    println!("{}", tab.to_markdown());
+    println!(
+        "\nReading guide: higher arity shortens routes; the demand-aware DP tree\n\
+         exploits the skewed traffic; self-adjusting networks additionally pay\n\
+         rotations but keep adapting if the pattern drifts."
+    );
+}

@@ -1,0 +1,50 @@
+//! Offline optimization walkthrough: given a measured demand matrix,
+//! build the optimal static routing-based k-ary tree (Theorem 2's O(n³k)
+//! DP) and compare it with the oblivious baselines — the workflow a
+//! datacenter operator would run between reconfiguration windows.
+//!
+//! ```sh
+//! cargo run --release --example offline_optimizer
+//! ```
+
+use ksan::prelude::*;
+use ksan::sim::table::Table;
+use ksan::statics::optimal_uniform_tree;
+
+fn main() {
+    let n = 200;
+    // A skewed demand: sparse partners with Zipf weights (ProjecToR-like).
+    let trace = gens::projector(n, 100_000, 11);
+    let demand = DemandMatrix::from_trace(&trace);
+
+    println!("optimizing a static topology for n={n}, {} requests\n", trace.len());
+    let mut tab = Table::new(&["k", "optimal (DP)", "centroid", "full tree", "DP gain vs full"]);
+    for k in [2usize, 3, 4, 6, 8] {
+        let t0 = std::time::Instant::now();
+        let (opt, _) = optimal_routing_based_tree(&demand, k);
+        let dp_time = t0.elapsed();
+        let opt_cost = opt.cost_on_trace(&trace);
+        let cen_cost = centroid_tree(n, k).cost_on_trace(&trace);
+        let full_cost = full_kary(n, k).cost_on_trace(&trace);
+        tab.row(vec![
+            k.to_string(),
+            format!("{opt_cost} ({dp_time:.0?})"),
+            cen_cost.to_string(),
+            full_cost.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - opt_cost as f64 / full_cost as f64)),
+        ]);
+    }
+    println!("{}", tab.to_markdown());
+
+    // The uniform-workload special case runs a whole complexity class
+    // faster (Theorem 4: O(n²k) instead of O(n³k)).
+    println!("\nuniform-workload optimum (O(n²k) DP) vs the O(n) centroid construction:");
+    for k in [2usize, 3, 5] {
+        let (_, opt) = optimal_uniform_tree(n, k);
+        let cen = centroid_tree(n, k).total_distance_uniform();
+        println!(
+            "  k={k}: optimal={opt} centroid={cen} — centroid is {}",
+            if cen == opt { "OPTIMAL (Remark 10)" } else { "off by a margin" }
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a k-ary SplayNet, serve a few requests, inspect costs
+//! and watch the topology adapt.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ksan::core::viz;
+use ksan::prelude::*;
+
+fn main() {
+    // A 3-ary self-adjusting search tree network over 13 racks.
+    let mut net = KSplayNet::balanced(3, 13);
+    println!("initial topology ({}):", viz::summary(net.tree()));
+    println!("{}", viz::render(net.tree()));
+
+    // Rack 2 talks to rack 13 repeatedly — the network adapts after the
+    // first request, and every later request costs a single hop.
+    for round in 1..=3 {
+        let cost = net.serve(2, 13);
+        println!(
+            "request (2,13) #{round}: routing={} rotations={} links-changed={}",
+            cost.routing, cost.rotations, cost.links_changed
+        );
+    }
+    println!("\nafter serving (2,13): distance = {}", net.distance(2, 13));
+    println!("{}", viz::render(net.tree()));
+
+    // A burst of locality-heavy traffic: self-adjustment pays off.
+    let trace = gens::temporal(13, 5_000, 0.8, 7);
+    let metrics = ksan::sim::run(&mut net, &trace);
+    println!(
+        "temporal-0.8 trace: {} requests, avg routing {:.2} hops, avg rotations {:.2}",
+        metrics.requests,
+        metrics.avg_routing(),
+        metrics.avg_rotations()
+    );
+
+    // Compare with a static full 3-ary tree serving the same trace.
+    let static_cost = full_kary(13, 3).cost_on_trace(&trace);
+    println!(
+        "static full 3-ary tree on the same trace: avg routing {:.2} hops",
+        static_cost as f64 / trace.len() as f64
+    );
+}

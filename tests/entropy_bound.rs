@@ -1,0 +1,52 @@
+//! Theorem 13 (empirical): k-ary SplayNet's total cost is bounded by a
+//! constant times the source/destination entropy sum
+//! `Σ_x a_x log(m/a_x) + b_x log(m/b_x)`.
+
+use ksan::prelude::*;
+use ksan::workloads::entropy_bound_rhs;
+
+#[test]
+fn total_cost_within_constant_of_entropy_bound() {
+    let m = 30_000;
+    let traces = vec![
+        ("zipf", gens::zipf(256, m, 1.2, 1)),
+        ("temporal-0.5", gens::temporal(256, m, 0.5, 2)),
+        ("uniform", gens::uniform(256, m, 3)),
+        ("projector", gens::projector(256, m, 4)),
+    ];
+    for (name, trace) in traces {
+        let bound = entropy_bound_rhs(&trace);
+        assert!(bound > 0.0);
+        for k in [2usize, 3, 5, 10] {
+            let mut net = KSplayNet::balanced(k, trace.n());
+            let metrics = ksan::sim::run(&mut net, &trace);
+            let cost = metrics.total_unit_cost() as f64;
+            let ratio = cost / bound;
+            assert!(
+                ratio < 6.0,
+                "{name} k={k}: cost/bound ratio {ratio:.2} suspiciously large \
+                 (cost {cost}, bound {bound:.0})"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_traffic_costs_less_than_uniform() {
+    // Entropy ordering must be reflected in realized costs: lower-entropy
+    // traffic is cheaper for a self-adjusting network.
+    let m = 30_000;
+    let n = 256;
+    let uni = gens::uniform(n, m, 7);
+    let skew = gens::zipf(n, m, 1.5, 7);
+    let cost = |trace: &ksan::workloads::Trace| {
+        let mut net = KSplayNet::balanced(3, n);
+        ksan::sim::run(&mut net, trace).total_unit_cost()
+    };
+    let cu = cost(&uni);
+    let cs = cost(&skew);
+    assert!(
+        cs < cu,
+        "zipf traffic ({cs}) should cost less than uniform ({cu})"
+    );
+}

@@ -1,0 +1,91 @@
+//! End-to-end invariant checks: every online network keeps all structural
+//! invariants while serving every workload family.
+
+use ksan::prelude::*;
+use ksan::core::invariants::validate;
+use ksan::sim::run_checked;
+use ksan::workloads::Trace;
+
+fn workloads_small() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("uniform", gens::uniform(120, 4000, 1)),
+        ("temporal-0.9", gens::temporal(120, 4000, 0.9, 2)),
+        ("zipf", gens::zipf(120, 4000, 1.3, 3)),
+        ("hpc", gens::hpc(120, 4000, 4)),
+        ("projector", gens::projector(120, 4000, 5)),
+        ("facebook", gens::facebook(120, 4000, 6)),
+    ]
+}
+
+#[test]
+fn ksplaynet_invariants_across_workloads_and_arities() {
+    for (name, trace) in workloads_small() {
+        for k in [2usize, 3, 5, 8] {
+            let mut net = KSplayNet::balanced(k, trace.n());
+            let snapshot = net.tree().element_multiset();
+            run_checked(&mut net, &trace, 500, |n, step| {
+                validate(n.tree())
+                    .unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
+            });
+            validate(net.tree()).unwrap();
+            assert_eq!(
+                net.tree().element_multiset(),
+                snapshot,
+                "{name} k={k}: routing elements not conserved"
+            );
+        }
+    }
+}
+
+#[test]
+fn centroid_net_invariants_across_workloads() {
+    for (name, trace) in workloads_small() {
+        for k in [2usize, 3, 5] {
+            let mut net = KPlusOneSplayNet::new(k, trace.n());
+            let c1 = net.c1_key();
+            let c2 = net.c2_key();
+            run_checked(&mut net, &trace, 1000, |n, step| {
+                validate(n.tree())
+                    .unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
+            });
+            let t = net.tree();
+            assert_eq!(t.root(), t.node_of(c1), "{name} k={k}: c1 moved");
+            assert_eq!(
+                t.parent(t.node_of(c2)),
+                t.node_of(c1),
+                "{name} k={k}: c2 moved"
+            );
+        }
+    }
+}
+
+#[test]
+fn classic_splaynet_invariants_across_workloads() {
+    for (name, trace) in workloads_small() {
+        let mut net = ClassicSplayNet::balanced(trace.n());
+        for (i, &(u, v)) in trace.requests().iter().enumerate() {
+            net.serve(u, v);
+            if (i + 1) % 1000 == 0 {
+                net.validate().unwrap_or_else(|e| panic!("{name} step {i}: {e}"));
+            }
+        }
+        net.validate().unwrap();
+    }
+}
+
+#[test]
+fn greedy_routing_delivers_after_full_workload_runs() {
+    use ksan::core::routing::route;
+    for k in [2usize, 4, 7] {
+        let trace = gens::temporal(90, 3000, 0.6, 9);
+        let mut net = KSplayNet::balanced(k, 90);
+        ksan::sim::run(&mut net, &trace);
+        for u in (1..=90u32).step_by(4) {
+            for v in (1..=90u32).step_by(7) {
+                let r = route(net.tree(), u, v)
+                    .unwrap_or_else(|_| panic!("k={k}: routing loop {u}->{v}"));
+                assert!(r.len() >= net.distance(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration tests for the lazy meta-algorithm wired to the offline
+//! constructions.
+
+use ksan::core::{LazyKaryNet, Network};
+use ksan::prelude::*;
+use ksan::sim::experiments::{centroid_rebuilder, optimal_rebuilder};
+
+#[test]
+fn lazy_optimal_rebuild_improves_routing_on_skewed_traffic() {
+    let n = 80;
+    let k = 3;
+    let trace = gens::zipf(n, 30_000, 1.4, 7);
+    // Never rebuild: cost of the initial balanced tree.
+    let mut frozen = LazyKaryNet::new(k, n, u64::MAX, optimal_rebuilder(k));
+    let mf = ksan::sim::run(&mut frozen, &trace);
+    assert_eq!(frozen.rebuilds(), 0);
+    // Rebuild a handful of times.
+    let mut lazy = LazyKaryNet::new(k, n, 20_000, optimal_rebuilder(k));
+    let ml = ksan::sim::run(&mut lazy, &trace);
+    assert!(lazy.rebuilds() >= 1, "threshold must have fired");
+    assert!(
+        ml.routing < mf.routing,
+        "demand-aware rebuilds must cut routing cost ({} vs {})",
+        ml.routing,
+        mf.routing
+    );
+    ksan::core::invariants::validate(lazy.tree()).unwrap();
+}
+
+#[test]
+fn lazy_centroid_rebuild_keeps_invariants() {
+    let n = 64;
+    let trace = gens::temporal(n, 5_000, 0.6, 9);
+    let mut lazy = LazyKaryNet::new(4, n, 3_000, centroid_rebuilder(4));
+    ksan::sim::run(&mut lazy, &trace);
+    assert!(lazy.rebuilds() >= 1);
+    ksan::core::invariants::validate(lazy.tree()).unwrap();
+}
+
+#[test]
+fn lazy_net_distance_consistent_after_rebuilds() {
+    let n = 50;
+    let trace = gens::projector(n, 10_000, 11);
+    let mut lazy = LazyKaryNet::new(2, n, 5_000, optimal_rebuilder(2));
+    ksan::sim::run(&mut lazy, &trace);
+    for u in 1..=n as u32 {
+        assert_eq!(lazy.distance(u, u), 0);
+        let v = (u % n as u32) + 1;
+        if u != v {
+            assert!(lazy.distance(u, v) >= 1);
+            assert_eq!(lazy.distance(u, v), lazy.distance(v, u));
+        }
+    }
+}

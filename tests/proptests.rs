@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) over the core data structures:
+//! arbitrary request sequences, arities, strategies and policies must
+//! preserve every invariant; arbitrary shapes must materialize into valid
+//! trees; splaying must deliver its postconditions.
+
+use ksan::core::invariants::{exact_gaps, validate};
+use ksan::core::routing::route;
+use ksan::prelude::*;
+use proptest::prelude::*;
+
+fn arb_requests(n: u32, len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((1..=n, 1..=n), 0..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serve_preserves_all_invariants(
+        k in 2usize..=10,
+        n in 2u32..=80,
+        reqs in arb_requests(80, 60),
+    ) {
+        let reqs: Vec<_> = reqs.into_iter()
+            .filter(|&(u, v)| u != v && u <= n && v <= n)
+            .collect();
+        let mut net = KSplayNet::balanced(k, n as usize);
+        let snapshot = net.tree().element_multiset();
+        for (u, v) in reqs {
+            net.serve(u, v);
+            prop_assert_eq!(net.distance(u, v), 1);
+        }
+        validate(net.tree()).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(net.tree().element_multiset(), snapshot);
+    }
+
+    #[test]
+    fn strategies_policies_grid_preserves_invariants(
+        seed in 0u64..1000,
+        strategy_semi in proptest::bool::ANY,
+        policy_idx in 0usize..3,
+    ) {
+        let policies = [WindowPolicy::Paper, WindowPolicy::Leftmost, WindowPolicy::Rightmost];
+        let strategy = if strategy_semi { SplayStrategy::SemiOnly } else { SplayStrategy::KSplay };
+        let mut net = KSplayNet::balanced(3, 50)
+            .with_strategy(strategy)
+            .with_policy(policies[policy_idx]);
+        let trace = gens::temporal(50, 120, 0.5, seed);
+        for &(u, v) in trace.requests() {
+            net.serve(u, v);
+        }
+        validate(net.tree()).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn stored_bounds_always_contain_exact_gaps(
+        k in 2usize..=6,
+        seed in 0u64..500,
+    ) {
+        let n = 60;
+        let mut net = KSplayNet::balanced(k, n);
+        let trace = gens::zipf(n, 150, 1.2, seed);
+        for &(u, v) in trace.requests() {
+            net.serve(u, v);
+        }
+        let t = net.tree();
+        let gaps = exact_gaps(t);
+        for v in t.nodes() {
+            let (lo, hi) = t.bounds(v);
+            let (glo, ghi) = gaps[v as usize];
+            prop_assert!(lo <= glo && ghi <= hi,
+                "stored bounds must contain the exact gap (node key {})", v + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_routing_terminates_and_delivers(
+        k in 2usize..=6,
+        seed in 0u64..500,
+        probes in proptest::collection::vec((1u32..=40, 1u32..=40), 10),
+    ) {
+        let n = 40;
+        let mut net = KSplayNet::balanced(k, n);
+        let trace = gens::temporal(n, 100, 0.7, seed);
+        for &(u, v) in trace.requests() {
+            net.serve(u, v);
+        }
+        for (u, v) in probes {
+            let r = route(net.tree(), u, v).map_err(|_| TestCaseError::fail("routing loop"))?;
+            prop_assert_eq!(*r.hops.last().unwrap(), net.tree().node_of(v));
+            prop_assert!(r.len() >= net.distance(u, v));
+        }
+    }
+
+    #[test]
+    fn centroid_net_membership_is_invariant(
+        k in 2usize..=5,
+        seed in 0u64..300,
+    ) {
+        let n = 120;
+        let mut net = KPlusOneSplayNet::new(k, n);
+        let before: Vec<_> = (1..=n as u32).map(|key| net.membership(key)).collect();
+        let trace = gens::uniform(n, 200, seed);
+        for &(u, v) in trace.requests() {
+            net.serve(u, v);
+        }
+        let after: Vec<_> = (1..=n as u32).map(|key| net.membership(key)).collect();
+        prop_assert_eq!(before, after);
+        validate(net.tree()).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn classic_and_kary_stay_in_lockstep(
+        seed in 0u64..400,
+        n in 4u32..=64,
+    ) {
+        let mut kst = KSplayNet::balanced(2, n as usize);
+        let mut classic = ClassicSplayNet::balanced(n as usize);
+        let trace = gens::uniform(n as usize, 80, seed);
+        for &(u, v) in trace.requests() {
+            let a = kst.serve(u, v);
+            let b = classic.serve(u, v);
+            prop_assert_eq!(a.routing, b.routing);
+            prop_assert_eq!(a.rotations, b.rotations);
+        }
+        // final shapes identical
+        let t = kst.tree();
+        for v in 0..n {
+            prop_assert_eq!(t.parent(v), classic.parent_of(v));
+            prop_assert_eq!(t.children(v)[0], classic.left_of(v));
+            prop_assert_eq!(t.children(v)[1], classic.right_of(v));
+        }
+    }
+
+    #[test]
+    fn demand_matrix_total_matches_trace_len(
+        n in 2usize..50,
+        reqs in arb_requests(49, 100),
+    ) {
+        let reqs: Vec<_> = reqs.into_iter()
+            .filter(|&(u, v)| u != v && (u as usize) <= n && (v as usize) <= n)
+            .collect();
+        let count = reqs.len() as u64;
+        let trace = Trace::new(n, reqs);
+        let d = DemandMatrix::from_trace(&trace);
+        prop_assert_eq!(d.total(), count);
+    }
+
+    #[test]
+    fn dist_tree_distance_is_a_tree_metric(
+        n in 2usize..40,
+        k in 2usize..=6,
+        a in 1u32..=39,
+        b in 1u32..=39,
+        c in 1u32..=39,
+    ) {
+        prop_assume!((a as usize) <= n && (b as usize) <= n && (c as usize) <= n);
+        let t = full_kary(n, k);
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+}

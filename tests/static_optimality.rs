@@ -1,0 +1,116 @@
+//! Theorem 12 (empirical): the k-ary splay *tree* (all requests served
+//! from the root) is statically optimal — total cost O(m + Σ_x n_x
+//! log(m/n_x)) for any access sequence.
+
+use ksan::core::{KstTree, SplayStrategy, WindowPolicy, NIL};
+use ksan::prelude::*;
+
+/// Access keys by splaying them to the root; returns total work
+/// (rotations) plus total pre-splay depth (search cost).
+fn splay_tree_cost(k: usize, n: usize, accesses: &[u32]) -> u64 {
+    let mut t = KstTree::balanced(k, n);
+    let mut total = 0u64;
+    for &key in accesses {
+        let v = t.node_of(key);
+        total += t.depth(v) as u64;
+        let stats = t.splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+        total += stats.rotations;
+    }
+    total
+}
+
+fn entropy_term(counts: &[u64], m: u64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64 * (m as f64 / c as f64).log2())
+        .sum::<f64>()
+}
+
+#[test]
+fn zipf_access_sequences_meet_the_static_optimality_bound() {
+    let n = 512;
+    let m = 40_000usize;
+    // Zipf-skewed single-key access sequence.
+    let trace = gens::zipf(n, m, 1.3, 5);
+    let accesses: Vec<u32> = trace.requests().iter().map(|&(u, _)| u).collect();
+    let mut counts = vec![0u64; n];
+    for &a in &accesses {
+        counts[a as usize - 1] += 1;
+    }
+    let bound = m as f64 + entropy_term(&counts, m as u64);
+    for k in [2usize, 3, 5, 10] {
+        let cost = splay_tree_cost(k, n, &accesses) as f64;
+        let ratio = cost / bound;
+        assert!(
+            ratio < 4.0,
+            "k={k}: splay-tree cost {cost} vs bound {bound:.0} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn repeated_single_key_costs_constant_amortized() {
+    // Accessing one key m times: total cost must be O(m + log n), i.e.
+    // amortized O(1) after the first access.
+    let n = 1024;
+    let mut t = KstTree::balanced(3, n);
+    let v = t.node_of(777);
+    let mut total = 0u64;
+    for _ in 0..1000 {
+        total += t.depth(v) as u64;
+        total += t
+            .splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper)
+            .rotations;
+    }
+    assert!(total < 1000 + 4 * 10, "repeated access not O(1): {total}");
+}
+
+#[test]
+fn sequential_scan_is_amortized_constant() {
+    // The classic sequential-access property carries over to k-ary splaying.
+    let n = 1024;
+    for k in [2usize, 4, 8] {
+        let mut t = KstTree::balanced(k, n);
+        let mut total = 0u64;
+        for key in 1..=n as u32 {
+            let v = t.node_of(key);
+            total += t.depth(v) as u64;
+            total += t
+                .splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper)
+                .rotations;
+        }
+        assert!(
+            total < 12 * n as u64,
+            "k={k}: sequential scan cost {total} not amortized O(1) per access"
+        );
+    }
+}
+
+#[test]
+fn working_set_style_locality() {
+    // Cycling over a small working set inside a large tree stays cheap.
+    let n = 4096;
+    let mut t = KstTree::balanced(2, n);
+    let set: Vec<u32> = (2000..2016).collect();
+    // warmup
+    for &key in &set {
+        t.splay_until(t.node_of(key), NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+    }
+    let mut total = 0u64;
+    let rounds = 200;
+    for _ in 0..rounds {
+        for &key in &set {
+            let v = t.node_of(key);
+            total += t.depth(v) as u64;
+            total += t
+                .splay_until(v, NIL, SplayStrategy::KSplay, WindowPolicy::Paper)
+                .rotations;
+        }
+    }
+    let per_access = total as f64 / (rounds * set.len()) as f64;
+    assert!(
+        per_access < 3.0 * (set.len() as f64).log2() + 8.0,
+        "working-set access cost {per_access:.2} too high"
+    );
+}
