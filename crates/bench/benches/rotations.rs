@@ -74,5 +74,10 @@ fn bench_window_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ksplay, bench_splay_to_root, bench_window_policies);
+criterion_group!(
+    benches,
+    bench_ksplay,
+    bench_splay_to_root,
+    bench_window_policies
+);
 criterion_main!(benches);

@@ -32,12 +32,36 @@ fn main() {
         ("zipf 1.2", gens::zipf(n, m, 1.2, 4)),
     ];
     let variants: Vec<(&str, SplayStrategy, WindowPolicy)> = vec![
-        ("k-splay / paper", SplayStrategy::KSplay, WindowPolicy::Paper),
-        ("k-splay / leftmost", SplayStrategy::KSplay, WindowPolicy::Leftmost),
-        ("k-splay / rightmost", SplayStrategy::KSplay, WindowPolicy::Rightmost),
-        ("semi-only / paper", SplayStrategy::SemiOnly, WindowPolicy::Paper),
-        ("deep-4 / paper", SplayStrategy::Deep(4), WindowPolicy::Paper),
-        ("deep-6 / paper", SplayStrategy::Deep(6), WindowPolicy::Paper),
+        (
+            "k-splay / paper",
+            SplayStrategy::KSplay,
+            WindowPolicy::Paper,
+        ),
+        (
+            "k-splay / leftmost",
+            SplayStrategy::KSplay,
+            WindowPolicy::Leftmost,
+        ),
+        (
+            "k-splay / rightmost",
+            SplayStrategy::KSplay,
+            WindowPolicy::Rightmost,
+        ),
+        (
+            "semi-only / paper",
+            SplayStrategy::SemiOnly,
+            WindowPolicy::Paper,
+        ),
+        (
+            "deep-4 / paper",
+            SplayStrategy::Deep(4),
+            WindowPolicy::Paper,
+        ),
+        (
+            "deep-6 / paper",
+            SplayStrategy::Deep(6),
+            WindowPolicy::Paper,
+        ),
     ];
     let mut tab = Table::new(&[
         "workload",
@@ -57,13 +81,15 @@ fn main() {
                 vname.to_string(),
                 format!("{:.3}", metrics.avg_routing()),
                 format!("{:.3}", metrics.avg_rotations()),
-                format!("{:.3}", metrics.links_changed as f64 / metrics.requests as f64),
+                format!(
+                    "{:.3}",
+                    metrics.links_changed as f64 / metrics.requests as f64
+                ),
             ]);
         }
     }
-    let mut report = format!(
-        "## Ablation: window policy × splay strategy (k = {k}, n = {n}, m = {m})\n\n"
-    );
+    let mut report =
+        format!("## Ablation: window policy × splay strategy (k = {k}, n = {n}, m = {m})\n\n");
     report.push_str(&tab.to_markdown());
     report.push_str(
         "\nExpectations: the paper policy and leftmost/rightmost differ little \

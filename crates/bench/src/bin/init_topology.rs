@@ -66,17 +66,12 @@ fn main() {
             for (iname, tree) in inits {
                 let mut net = KSplayNet::from_tree(tree);
                 let half = trace.len() / 2;
-                let first = kst_workloads::Trace::new(
-                    n,
-                    trace.requests()[..half].to_vec(),
-                );
-                let second = kst_workloads::Trace::new(
-                    n,
-                    trace.requests()[half..].to_vec(),
-                );
+                let first = kst_workloads::Trace::new(n, trace.requests()[..half].to_vec());
+                let second = kst_workloads::Trace::new(n, trace.requests()[half..].to_vec());
                 let m1 = run(&mut net, &first);
                 let m2 = run(&mut net, &second);
-                let total_avg = (m1.routing + m2.routing) as f64 / (m1.requests + m2.requests) as f64;
+                let total_avg =
+                    (m1.routing + m2.routing) as f64 / (m1.requests + m2.requests) as f64;
                 tab.row(vec![
                     k.to_string(),
                     wname.to_string(),

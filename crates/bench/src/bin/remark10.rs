@@ -11,7 +11,14 @@ use kst_statics::{centroid_tree, full_kary, optimal_uniform_tree};
 
 fn main() {
     let ns: Vec<usize> = vec![5, 10, 20, 50, 100, 200, 500, 999];
-    let mut tab = Table::new(&["n", "k", "centroid", "optimal (DP)", "full tree", "centroid=opt?"]);
+    let mut tab = Table::new(&[
+        "n",
+        "k",
+        "centroid",
+        "optimal (DP)",
+        "full tree",
+        "centroid=opt?",
+    ]);
     let mut all_optimal = true;
     for &n in &ns {
         for k in 2..=10usize {
@@ -26,7 +33,11 @@ fn main() {
                 c.to_string(),
                 opt.to_string(),
                 f.to_string(),
-                if eq { "yes".into() } else { format!("no (+{})", c - opt) },
+                if eq {
+                    "yes".into()
+                } else {
+                    format!("no (+{})", c - opt)
+                },
             ]);
         }
     }

@@ -1,6 +1,7 @@
 //! # kst-bench — experiment harness regenerating the paper's tables
 //!
-//! One binary per paper artifact (see DESIGN.md §5 for the index):
+//! One binary per paper artifact (the crate map in the workspace
+//! `README.md` lists them all):
 //! * `table_kary <workload>…` — Tables 1–7 (k-ary SplayNet vs static
 //!   trees, k ∈ \[2,10\]);
 //! * `table8` — Table 8 (3-SplayNet vs SplayNet vs static binary trees);
@@ -20,13 +21,26 @@ use kst_sim::table::{avg, ratio, Table};
 use std::io::Write as _;
 use std::path::PathBuf;
 
-/// Where `results/*.md` files go (workspace root `results/`).
+/// Where `results/*.md` files go.
+///
+/// Resolution order, so reports land somewhere sensible no matter where
+/// the binary is invoked from (or copied to):
+/// 1. `KSAN_RESULTS_DIR`, if set — used verbatim;
+/// 2. the workspace-root `results/` derived from the compile-time
+///    manifest path, if that workspace still exists on disk;
+/// 3. `./results` under the current working directory.
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("KSAN_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop(); // crates/
     p.pop(); // workspace root
-    p.push("results");
-    p
+    if p.is_dir() {
+        p.push("results");
+        return p;
+    }
+    PathBuf::from("results")
 }
 
 /// Writes a report file under `results/`, creating the directory.
@@ -140,4 +154,30 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
          cells). Static trees pay no rotations.\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate `KSAN_RESULTS_DIR` (cargo runs test
+    /// threads in parallel; env vars are process-global).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn results_dir_honors_env_override_and_write_report_creates_dir() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let tmp = std::env::temp_dir().join("ksan-results-test");
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::env::set_var("KSAN_RESULTS_DIR", &tmp);
+        assert_eq!(results_dir(), tmp);
+        let path = write_report("probe.md", "# probe\n").unwrap();
+        assert!(path.starts_with(&tmp));
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "# probe\n");
+        std::env::remove_var("KSAN_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+        // Without the override we fall back to a usable directory.
+        let fallback = results_dir();
+        assert!(fallback.ends_with("results"));
+    }
 }

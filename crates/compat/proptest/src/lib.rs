@@ -1,0 +1,275 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! attribute, integer-range / tuple / `collection::vec` / `bool::ANY`
+//! strategies, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! [`TestCaseError`]. Unlike the real crate there is **no shrinking** —
+//! a failing case reports the generated inputs verbatim — and generation
+//! is driven by the deterministic SplitMix64 stand-in of the vendored
+//! `rand` crate, seeded per test from the test's name (override with
+//! `PROPTEST_SEED`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A genuine failure: the property does not hold.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason (accepts anything printable, so it
+    /// can be used point-free in `map_err(TestCaseError::fail)`).
+    pub fn fail<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A rejection (assumption not met) with the given reason.
+    pub fn reject<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Per-test deterministic RNG plumbing.
+pub mod test_runner {
+    pub use crate::{ProptestConfig as Config, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// RNG handed to strategies during generation.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from the test name (FNV-1a), or `PROPTEST_SEED` if set.
+        pub fn for_test(name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+                Err(_) => fnv1a(name.as_bytes()),
+            };
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// `proptest::collection` subset: the [`vec`] strategy.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Vectors of values from `element`, with length drawn from `size`
+    /// (a `usize` for exact length, or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `proptest::bool` subset.
+pub mod bool {
+    /// Strategy producing fair booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a `proptest!` call site needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Defines `#[test]` functions that run their body over many generated
+/// inputs. Subset of the real macro: plain-identifier bindings
+/// (`name in strategy`), optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let case_desc = {
+                    let mut d = String::new();
+                    $(
+                        d.push_str(concat!(stringify!($arg), " = "));
+                        d.push_str(&format!("{:?}, ", &$arg));
+                    )*
+                    d
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > cfg.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name), passed, reason, case_desc
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports the generated inputs instead of panicking
+/// directly (returns `Err(TestCaseError::Fail)` from the case closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Skips the current case (does not count toward `cases`) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

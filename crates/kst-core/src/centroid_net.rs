@@ -37,7 +37,7 @@ pub struct KPlusOneSplayNet {
     tree: KstTree,
     c1: NodeIdx,
     c2: NodeIdx,
-    member: Vec<u16>, // subtree id per node; C1/C2 use sentinels
+    member: Vec<u16>,             // subtree id per node; C1/C2 use sentinels
     subtree_anchor: Vec<NodeIdx>, // fixed parent (c1 or c2) per subtree id
     strategy: SplayStrategy,
     policy: WindowPolicy,
@@ -66,7 +66,7 @@ impl KPlusOneSplayNet {
         let m = n - 2;
         let b = m / (k + 1); // size of each of c2's k subtrees
         let a_total = m - k * b; // total size of c1's k-1 subtrees
-        // Spread a_total over k-1 parts as evenly as possible.
+                                 // Spread a_total over k-1 parts as evenly as possible.
         let mut a_sizes = Vec::with_capacity(k - 1);
         let (q, r) = (a_total / (k - 1), a_total % (k - 1));
         for i in 0..k - 1 {
@@ -218,16 +218,26 @@ impl Network for KPlusOneSplayNet {
             // strictly below, so the centroids cannot move).
             let w = self.tree.lca(nu, nv);
             if w == nu {
-                stats = add(stats, self.tree.splay_until(nv, nu, self.strategy, self.policy));
+                stats = add(
+                    stats,
+                    self.tree.splay_until(nv, nu, self.strategy, self.policy),
+                );
             } else if w == nv {
-                stats = add(stats, self.tree.splay_until(nu, nv, self.strategy, self.policy));
+                stats = add(
+                    stats,
+                    self.tree.splay_until(nu, nv, self.strategy, self.policy),
+                );
             } else {
                 let boundary = self.tree.parent(w);
                 stats = add(
                     stats,
-                    self.tree.splay_until(nu, boundary, self.strategy, self.policy),
+                    self.tree
+                        .splay_until(nu, boundary, self.strategy, self.policy),
                 );
-                stats = add(stats, self.tree.splay_until(nv, nu, self.strategy, self.policy));
+                stats = add(
+                    stats,
+                    self.tree.splay_until(nv, nu, self.strategy, self.policy),
+                );
             }
         } else {
             // Different subtrees (or an endpoint is a centroid): splay each
@@ -352,7 +362,7 @@ mod tests {
     #[test]
     fn cross_subtree_request_brings_endpoints_near_centroids() {
         let mut net = KPlusOneSplayNet::new(2, 92); // 3 subtrees of 30
-        // keys 1..30 subtree 0; c1=31, c2=32; 33..62 subtree 1; 63..92 subtree 2
+                                                    // keys 1..30 subtree 0; c1=31, c2=32; 33..62 subtree 1; 63..92 subtree 2
         let (u, v) = (5u32, 80u32);
         net.serve(u, v);
         // u is now a subtree root (child of c1 or c2), same for v

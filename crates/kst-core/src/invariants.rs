@@ -61,8 +61,7 @@ pub fn validate(t: &KstTree) -> Result<(), String> {
     }
     // Elements sorted, non-image; search property via DFS with exact gaps.
     let mut visited = 0usize;
-    let mut stack: Vec<(NodeIdx, RoutingKey, RoutingKey)> =
-        vec![(t.root(), 0, RoutingKey::MAX)];
+    let mut stack: Vec<(NodeIdx, RoutingKey, RoutingKey)> = vec![(t.root(), 0, RoutingKey::MAX)];
     while let Some((v, lo, hi)) = stack.pop() {
         visited += 1;
         let es = t.elems(v);
@@ -84,10 +83,7 @@ pub fn validate(t: &KstTree) -> Result<(), String> {
         }
         let img = key_image(v + 1);
         if img <= lo || img >= hi {
-            return Err(format!(
-                "key {} image outside its gap ({lo}, {hi})",
-                v + 1
-            ));
+            return Err(format!("key {} image outside its gap ({lo}, {hi})", v + 1));
         }
         let (slo, shi) = t.bounds(v);
         if slo > lo || shi < hi {
@@ -124,8 +120,7 @@ pub fn exact_gaps(t: &KstTree) -> Vec<(RoutingKey, RoutingKey)> {
     let n = t.n();
     let k = t.k();
     let mut gaps = vec![(0, RoutingKey::MAX); n];
-    let mut stack: Vec<(NodeIdx, RoutingKey, RoutingKey)> =
-        vec![(t.root(), 0, RoutingKey::MAX)];
+    let mut stack: Vec<(NodeIdx, RoutingKey, RoutingKey)> = vec![(t.root(), 0, RoutingKey::MAX)];
     while let Some((v, lo, hi)) = stack.pop() {
         gaps[v as usize] = (lo, hi);
         let es = t.elems(v);

@@ -79,17 +79,27 @@ impl KSplayNet {
         let mut stats = SplayStats::default();
         if w == nu {
             // u is an ancestor of v: splay v up to be u's child.
-            stats = merge(stats, self.tree.splay_until(nv, nu, self.strategy, self.policy));
+            stats = merge(
+                stats,
+                self.tree.splay_until(nv, nu, self.strategy, self.policy),
+            );
         } else if w == nv {
-            stats = merge(stats, self.tree.splay_until(nu, nv, self.strategy, self.policy));
+            stats = merge(
+                stats,
+                self.tree.splay_until(nu, nv, self.strategy, self.policy),
+            );
         } else {
             let boundary = self.tree.parent(w);
             stats = merge(
                 stats,
-                self.tree.splay_until(nu, boundary, self.strategy, self.policy),
+                self.tree
+                    .splay_until(nu, boundary, self.strategy, self.policy),
             );
             // v remained inside the subtree now rooted at u.
-            stats = merge(stats, self.tree.splay_until(nv, nu, self.strategy, self.policy));
+            stats = merge(
+                stats,
+                self.tree.splay_until(nv, nu, self.strategy, self.policy),
+            );
         }
         debug_assert_eq!(self.tree.distance(nu, nv), 1);
         stats

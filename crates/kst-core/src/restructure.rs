@@ -143,17 +143,13 @@ impl KstTree {
             let a_min = gap.saturating_sub(km1);
             let a_max = gap.min(m - km1);
             debug_assert!(a_min <= a_max);
-            let a = choose_window(
-                policy,
-                a_min,
-                a_max,
-                gap,
-                km1,
-                &elems,
-                &path[i + 1..],
-            );
+            let a = choose_window(policy, a_min, a_max, gap, km1, &elems, &path[i + 1..]);
             let lo = if a == 0 { frag_lo } else { elems[a - 1] };
-            let hi = if a + km1 == m { frag_hi } else { elems[a + km1] };
+            let hi = if a + km1 == m {
+                frag_hi
+            } else {
+                elems[a + km1]
+            };
             self.install_node(node, &elems[a..a + km1], &slots[a..=a + km1], lo, hi);
             elems.drain(a..a + km1);
             slots.splice(a..=a + km1, std::iter::once(node));
@@ -264,11 +260,8 @@ fn choose_window(
                 np += 1;
             }
             // A window starting at `a` spans gaps a..=a+km1.
-            let clean = |a: usize| -> bool {
-                pend_gaps[..np]
-                    .iter()
-                    .all(|&q| q < a || q > a + km1)
-            };
+            let clean =
+                |a: usize| -> bool { pend_gaps[..np].iter().all(|&q| q < a || q > a + km1) };
             let ideal = gap as i64 - (km1 as i64 + 1) / 2;
             let score = |a: usize| -> i64 { (a as i64 - ideal).abs() };
             let mut best = usize::MAX;
@@ -365,7 +358,11 @@ mod tests {
             t.k_splay(deepest, WindowPolicy::Paper);
             validate(&t).unwrap_or_else(|e| panic!("k={k}: {e}"));
             check_conserved(&before, &t);
-            assert_eq!(t.parent(deepest), gg, "grandchild must take grandparent's place");
+            assert_eq!(
+                t.parent(deepest),
+                gg,
+                "grandchild must take grandparent's place"
+            );
         }
     }
 

@@ -149,9 +149,8 @@ mod tests {
             }
             for u in (1..=80u32).step_by(3) {
                 for v in (1..=80u32).step_by(7) {
-                    let r = route(&t, u, v).unwrap_or_else(|_| {
-                        panic!("routing loop k={k} u={u} v={v}")
-                    });
+                    let r = route(&t, u, v)
+                        .unwrap_or_else(|_| panic!("routing loop k={k} u={u} v={v}"));
                     assert_eq!(*r.hops.last().unwrap(), t.node_of(v));
                 }
             }

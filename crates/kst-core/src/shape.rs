@@ -333,7 +333,10 @@ mod tests {
         let kids: Vec<u32> = (0..4).map(|_| s.push_leaf()).collect();
         s.children[root as usize] = kids;
         s.root = root;
-        assert!(s.validate(3).is_err(), "4 children must not validate at k=3");
+        assert!(
+            s.validate(3).is_err(),
+            "4 children must not validate at k=3"
+        );
         assert!(s.validate(4).is_ok());
     }
 
@@ -358,11 +361,7 @@ mod tests {
             let s = ShapeTree::balanced_kary(n, k);
             let keys = s.assign_keys(1);
             let sizes = s.subtree_sizes();
-            fn min_max(
-                s: &ShapeTree,
-                keys: &[NodeKey],
-                v: u32,
-            ) -> (NodeKey, NodeKey) {
+            fn min_max(s: &ShapeTree, keys: &[NodeKey], v: u32) -> (NodeKey, NodeKey) {
                 let mut lo = keys[v as usize];
                 let mut hi = keys[v as usize];
                 for &c in &s.children[v as usize] {

@@ -149,8 +149,7 @@ mod tests {
         for d in [2u8, 3, 4, 5, 6] {
             let mut t = KstTree::balanced(2, 255);
             let deepest = t.nodes().max_by_key(|&v| t.depth(v)).unwrap();
-            let stats =
-                t.splay_until(deepest, NIL, SplayStrategy::Deep(d), WindowPolicy::Paper);
+            let stats = t.splay_until(deepest, NIL, SplayStrategy::Deep(d), WindowPolicy::Paper);
             assert_eq!(t.root(), deepest, "d={d}");
             assert!(stats.rotations > 0);
             validate(&t).unwrap_or_else(|e| panic!("d={d}: {e}"));

@@ -92,8 +92,7 @@ impl KstTree {
             }
         }
         // Pre-order: materialize each node given its interval.
-        let mut stack: Vec<(u32, RoutingKey, RoutingKey)> =
-            vec![(shape.root, 0, RoutingKey::MAX)];
+        let mut stack: Vec<(u32, RoutingKey, RoutingKey)> = vec![(shape.root, 0, RoutingKey::MAX)];
         while let Some((v, lo, hi)) = stack.pop() {
             let vi = key_to_idx(keys[v as usize]) as usize;
             t.lo[vi] = lo;
@@ -158,9 +157,9 @@ impl KstTree {
             let cluster = spares + usize::from(key_interior);
             let mut last = lo; // exclusive lower bound for the next value
             let push_elem = |elems: &mut Vec<RoutingKey>,
-                                 last: &mut RoutingKey,
-                                 value: RoutingKey,
-                                 upper: RoutingKey| {
+                             last: &mut RoutingKey,
+                             value: RoutingKey,
+                             upper: RoutingKey| {
                 let v = value.max(*last + 1);
                 assert!(v < upper, "routing-element space exhausted");
                 elems.push(v);
@@ -371,7 +370,13 @@ impl KstTree {
 
 impl std::fmt::Debug for KstTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "KstTree(k={}, n={}, root=key {})", self.k, self.n, idx_to_key(self.root))?;
+        writeln!(
+            f,
+            "KstTree(k={}, n={}, root=key {})",
+            self.k,
+            self.n,
+            idx_to_key(self.root)
+        )?;
         for v in 0..self.n as NodeIdx {
             let kids: Vec<String> = self
                 .children(v)

@@ -58,7 +58,10 @@ impl Scale {
         if let Some(v) = get("KSAN_THREADS") {
             s.threads = v;
         }
-        if let Some(v) = std::env::var("KSAN_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+        if let Some(v) = std::env::var("KSAN_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
             s.seed = v;
         }
         s
@@ -78,7 +81,14 @@ impl Scale {
 
 /// The eight evaluation workloads of Section 5.
 pub const WORKLOADS: [&str; 8] = [
-    "uniform", "hpc", "projector", "facebook", "t025", "t05", "t075", "t09",
+    "uniform",
+    "hpc",
+    "projector",
+    "facebook",
+    "t025",
+    "t05",
+    "t075",
+    "t09",
 ];
 
 /// Instantiates a named workload at the given scale.

@@ -20,8 +20,10 @@ where
     }
     let n = items.len();
     // Wrap items in Options so workers can take them by index.
-    let slots: Vec<std::sync::Mutex<Option<T>>> =
-        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
     let results: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -40,7 +42,11 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker died before finishing"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker died before finishing")
+        })
         .collect()
 }
 

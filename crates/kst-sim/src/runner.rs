@@ -79,10 +79,38 @@ mod tests {
         let mut net = KSplayNet::balanced(2, 64);
         let (total, windows) = run_windowed(&mut net, &trace, 250);
         assert_eq!(windows.len(), 4);
-        let sum: u64 = windows.iter().map(|w| w.routing).sum();
-        assert_eq!(sum, total.routing);
-        // locality means later windows are cheaper than the first
-        assert!(windows.last().unwrap().routing <= windows[0].routing);
+        assert_eq!(
+            windows.iter().map(|w| w.requests).sum::<u64>(),
+            total.requests
+        );
+        assert_eq!(
+            windows.iter().map(|w| w.routing).sum::<u64>(),
+            total.routing
+        );
+        assert_eq!(
+            windows.iter().map(|w| w.rotations).sum::<u64>(),
+            total.rotations
+        );
+        assert_eq!(
+            windows.iter().map(|w| w.links_changed).sum::<u64>(),
+            total.links_changed
+        );
+    }
+
+    #[test]
+    fn windowed_runner_shows_convergence_on_hot_pair() {
+        // A stationary random trace adapts within the first window, so
+        // window costs there are pure noise. A single repeated far-apart
+        // pair isolates the transient: the first window pays the initial
+        // restructuring, every later window routes at distance 1.
+        let trace = kst_workloads::Trace::new(64, vec![(1u32, 64u32); 1000]);
+        let mut net = KSplayNet::balanced(2, 64);
+        let (_, windows) = run_windowed(&mut net, &trace, 250);
+        assert_eq!(windows.len(), 4);
+        assert!(windows.last().unwrap().routing < windows[0].routing);
+        // fully converged: one hop per request, no further rotations
+        assert_eq!(windows.last().unwrap().routing, 250);
+        assert_eq!(windows.last().unwrap().rotations, 0);
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub fn optimal_routing_based(demand: &DemandMatrix, k: usize) -> OptimalStatic {
     // in B[t][j][l] is contiguous.
     let planes = k - 1;
     let mut b = vec![vec![INF; n * n]; planes + 1]; // b[0] unused
-    // C as its own table, layout [i * n + j] for contiguous l-scans.
+                                                    // C as its own table, layout [i * n + j] for contiguous l-scans.
     let mut c = vec![INF; n * n];
 
     // helper closures over raw tables

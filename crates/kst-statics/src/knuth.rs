@@ -80,10 +80,7 @@ pub fn optimal_bst_knuth_slack(demand: &DemandMatrix, slack: usize) -> (DistTree
                 NIL => j,
                 r => r as usize,
             };
-            let (lo, hi) = (
-                lo.saturating_sub(slack).max(i),
-                (hi + slack).min(j),
-            );
+            let (lo, hi) = (lo.saturating_sub(slack).max(i), (hi + slack).min(j));
             let mut best = u64::MAX;
             let mut best_r = lo;
             for r in lo..=hi {

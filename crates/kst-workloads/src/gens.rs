@@ -306,9 +306,7 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let total = *self.cdf.last().unwrap();
         let x = rng.gen::<f64>() * total;
-        self.cdf
-            .partition_point(|&c| c < x)
-            .min(self.cdf.len() - 1)
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
     }
 }
 
@@ -387,14 +385,22 @@ mod tests {
     fn projector_is_sparse() {
         let s = stats(&projector(100, 50_000, 9));
         // sparse demand: far fewer distinct pairs than n^2
-        assert!(s.distinct_pairs < 100 * 99 / 8, "pairs={}", s.distinct_pairs);
+        assert!(
+            s.distinct_pairs < 100 * 99 / 8,
+            "pairs={}",
+            s.distinct_pairs
+        );
     }
 
     #[test]
     fn facebook_is_heavy_tailed() {
         let s = stats(&facebook(2000, 50_000, 13));
         // skewed: source entropy well below log2(n)
-        assert!(s.src_entropy < (2000f64).log2() - 1.0, "entropy={}", s.src_entropy);
+        assert!(
+            s.src_entropy < (2000f64).log2() - 1.0,
+            "entropy={}",
+            s.src_entropy
+        );
     }
 
     #[test]

@@ -17,8 +17,17 @@ fn main() {
     let trace = gens::projector(n, 100_000, 11);
     let demand = DemandMatrix::from_trace(&trace);
 
-    println!("optimizing a static topology for n={n}, {} requests\n", trace.len());
-    let mut tab = Table::new(&["k", "optimal (DP)", "centroid", "full tree", "DP gain vs full"]);
+    println!(
+        "optimizing a static topology for n={n}, {} requests\n",
+        trace.len()
+    );
+    let mut tab = Table::new(&[
+        "k",
+        "optimal (DP)",
+        "centroid",
+        "full tree",
+        "DP gain vs full",
+    ]);
     for k in [2usize, 3, 4, 6, 8] {
         let t0 = std::time::Instant::now();
         let (opt, _) = optimal_routing_based_tree(&demand, k);
@@ -44,7 +53,11 @@ fn main() {
         let cen = centroid_tree(n, k).total_distance_uniform();
         println!(
             "  k={k}: optimal={opt} centroid={cen} — centroid is {}",
-            if cen == opt { "OPTIMAL (Remark 10)" } else { "off by a margin" }
+            if cen == opt {
+                "OPTIMAL (Remark 10)"
+            } else {
+                "off by a margin"
+            }
         );
     }
 }

@@ -22,7 +22,8 @@ fn assert_same_shape(kst: &KSplayNet, classic: &ClassicSplayNet, ctx: &str) {
         let kp = t.parent(v);
         let cp = classic.parent_of(v);
         assert_eq!(
-            kp, cp,
+            kp,
+            cp,
             "{ctx}: key {} parent differs (kst {:?} vs classic {:?})",
             v + 1,
             kp.checked_add(1),
@@ -56,7 +57,12 @@ fn initial_balanced_shapes_match() {
 
 #[test]
 fn random_traces_move_for_move() {
-    for (n, m, seed) in [(10usize, 400usize, 1u64), (64, 1000, 2), (100, 1500, 3), (255, 800, 4)] {
+    for (n, m, seed) in [
+        (10usize, 400usize, 1u64),
+        (64, 1000, 2),
+        (100, 1500, 3),
+        (255, 800, 4),
+    ] {
         let mut kst = KSplayNet::balanced(2, n);
         let mut classic = ClassicSplayNet::balanced(n);
         let mut rng = StdRng::seed_from_u64(seed);

@@ -1,8 +1,8 @@
 //! End-to-end invariant checks: every online network keeps all structural
 //! invariants while serving every workload family.
 
-use ksan::prelude::*;
 use ksan::core::invariants::validate;
+use ksan::prelude::*;
 use ksan::sim::run_checked;
 use ksan::workloads::Trace;
 
@@ -24,8 +24,7 @@ fn ksplaynet_invariants_across_workloads_and_arities() {
             let mut net = KSplayNet::balanced(k, trace.n());
             let snapshot = net.tree().element_multiset();
             run_checked(&mut net, &trace, 500, |n, step| {
-                validate(n.tree())
-                    .unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
+                validate(n.tree()).unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
             });
             validate(net.tree()).unwrap();
             assert_eq!(
@@ -45,8 +44,7 @@ fn centroid_net_invariants_across_workloads() {
             let c1 = net.c1_key();
             let c2 = net.c2_key();
             run_checked(&mut net, &trace, 1000, |n, step| {
-                validate(n.tree())
-                    .unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
+                validate(n.tree()).unwrap_or_else(|e| panic!("{name} k={k} step {step}: {e}"));
             });
             let t = net.tree();
             assert_eq!(t.root(), t.node_of(c1), "{name} k={k}: c1 moved");
@@ -66,7 +64,8 @@ fn classic_splaynet_invariants_across_workloads() {
         for (i, &(u, v)) in trace.requests().iter().enumerate() {
             net.serve(u, v);
             if (i + 1) % 1000 == 0 {
-                net.validate().unwrap_or_else(|e| panic!("{name} step {i}: {e}"));
+                net.validate()
+                    .unwrap_or_else(|e| panic!("{name} step {i}: {e}"));
             }
         }
         net.validate().unwrap();

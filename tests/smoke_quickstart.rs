@@ -1,0 +1,63 @@
+//! Workspace smoke test: the `examples/quickstart.rs` flow end to end.
+//!
+//! Guards the facade wiring — `ksan::prelude`, `gens`, `ksan::sim::run`,
+//! the statics re-exports — against regressions: every type and function
+//! the quickstart touches must resolve and agree, costs must be positive,
+//! and all core invariants must hold after a thousand requests.
+
+use ksan::core::invariants::validate;
+use ksan::core::viz;
+use ksan::prelude::*;
+
+#[test]
+fn quickstart_flow_serves_and_adapts() {
+    let mut net = KSplayNet::balanced(3, 13);
+    assert!(viz::summary(net.tree()).contains("n=13"));
+
+    // Repeated far pair: first request restructures, then one hop each.
+    let first = net.serve(2, 13);
+    assert!(first.routing >= 1);
+    let later = net.serve(2, 13);
+    assert_eq!(net.distance(2, 13), 1);
+    assert!(later.routing <= first.routing);
+
+    // A locality-heavy burst; the facade's runner must count every request.
+    let trace = gens::temporal(13, 1_000, 0.8, 7);
+    let metrics = ksan::sim::run(&mut net, &trace);
+    assert_eq!(metrics.requests, 1_000);
+    assert!(metrics.routing > 0);
+    assert!(metrics.avg_routing() >= 1.0);
+
+    // Invariants survive the whole run.
+    validate(net.tree()).expect("invariants must hold after 1k requests");
+
+    // Static baseline from the prelude agrees on the trace length.
+    let static_cost = full_kary(13, 3).cost_on_trace(&trace);
+    assert!(static_cost >= trace.len() as u64);
+}
+
+#[test]
+fn prelude_facade_resolves_all_advertised_items() {
+    // Each binding exercises one `ksan::prelude` re-export so a missing
+    // re-export fails this test rather than a downstream user.
+    let _net: KSplayNet = KSplayNet::balanced(2, 8);
+    let _cnet: KPlusOneSplayNet = KPlusOneSplayNet::new(2, 8);
+    let _classic: ClassicSplayNet = ClassicSplayNet::balanced(8);
+    let _strategy: SplayStrategy = SplayStrategy::KSplay;
+    let _policy: WindowPolicy = WindowPolicy::Paper;
+    let _scale: Scale = Scale::tiny(100);
+    let trace: Trace = gens::uniform(8, 10, 0);
+    let demand: DemandMatrix = DemandMatrix::from_trace(&trace);
+    let _tree: DistTree = full_kary(8, 2);
+    let _opt = optimal_routing_based_tree(&demand, 2);
+    let _cent: DistTree = centroid_tree(8, 2);
+    let _shape: ShapeTree = ShapeTree::balanced_kary(8, 2);
+    let mut m: Metrics = Metrics::default();
+    m.absorb(ServeCost {
+        routing: 1,
+        rotations: 0,
+        links_changed: 0,
+    });
+    assert_eq!(m.requests, 1);
+    let _key: NodeKey = 1;
+}

@@ -95,7 +95,12 @@ fn working_set_style_locality() {
     let set: Vec<u32> = (2000..2016).collect();
     // warmup
     for &key in &set {
-        t.splay_until(t.node_of(key), NIL, SplayStrategy::KSplay, WindowPolicy::Paper);
+        t.splay_until(
+            t.node_of(key),
+            NIL,
+            SplayStrategy::KSplay,
+            WindowPolicy::Paper,
+        );
     }
     let mut total = 0u64;
     let rounds = 200;

@@ -34,7 +34,10 @@ fn optimal_hierarchy_on_skewed_demand() {
         assert_eq!(opt_tree.total_distance(&demand), opt_cost);
         let cen = centroid_tree(n, k).total_distance(&demand);
         let full = full_kary(n, k).total_distance(&demand);
-        assert!(opt_cost <= cen, "k={k}: optimal {opt_cost} > centroid {cen}");
+        assert!(
+            opt_cost <= cen,
+            "k={k}: optimal {opt_cost} > centroid {cen}"
+        );
         assert!(opt_cost <= full, "k={k}: optimal {opt_cost} > full {full}");
     }
 }
