@@ -1,9 +1,15 @@
 //! Microbenchmarks of the k-splay rotation machinery: how expensive is one
-//! restructure, and how does it scale with arity k?
+//! restructure, how does it scale with arity k and with 10⁶ nodes, and a
+//! hard assertion that the machinery never touches the heap once the
+//! scratch arenas are reserved.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kst_core::{KstTree, NodeIdx, WindowPolicy};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use kst_core::alloc_probe::{self, CountingAlloc};
+use kst_core::{KstTree, NodeIdx, SplayStrategy, WindowPolicy};
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench_ksplay(c: &mut Criterion) {
     let mut group = c.benchmark_group("k_splay_deepest");
@@ -74,10 +80,64 @@ fn bench_window_policies(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_splay_to_root_1m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splay_to_root_1m");
+    for k in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            // One evolving tree (cloning 10⁶ nodes per iteration would
+            // dwarf the splay itself); node choice cycles pseudo-randomly.
+            let mut t = KstTree::balanced(k, 1_000_000);
+            t.reserve_scratch(SplayStrategy::KSplay.span());
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let v = ((i >> 33) % 1_000_000) as NodeIdx;
+                t.splay_until(
+                    black_box(v),
+                    kst_core::NIL,
+                    SplayStrategy::KSplay,
+                    WindowPolicy::Paper,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Asserts k-splay / k-semi-splay / deep restructures are allocation-free
+/// after `reserve_scratch` — from the very first call.
+fn assert_rotations_allocation_free() {
+    for k in [2usize, 5, 16] {
+        let mut t = KstTree::balanced(k, 4096);
+        t.reserve_scratch(SplayStrategy::Deep(5).span());
+        let (_, allocs) = alloc_probe::count_allocations(|| {
+            let mut i = 0u64;
+            for _ in 0..2000 {
+                i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let v = ((i >> 33) % 4096) as NodeIdx;
+                for strategy in [
+                    SplayStrategy::KSplay,
+                    SplayStrategy::SemiOnly,
+                    SplayStrategy::Deep(5),
+                ] {
+                    t.splay_until(v, kst_core::NIL, strategy, WindowPolicy::Paper);
+                }
+            }
+        });
+        assert_eq!(allocs, 0, "rotation machinery allocated (k={k})");
+    }
+    println!("rotation allocation assertions passed (0 allocations)");
+}
+
 criterion_group!(
     benches,
     bench_ksplay,
     bench_splay_to_root,
-    bench_window_policies
+    bench_window_policies,
+    bench_splay_to_root_1m
 );
-criterion_main!(benches);
+
+fn main() {
+    assert_rotations_allocation_free();
+    benches();
+}

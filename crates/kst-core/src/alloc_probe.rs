@@ -1,0 +1,65 @@
+//! Heap-allocation counting for the zero-allocation serve-path guarantee.
+//!
+//! Test and bench binaries install [`CountingAlloc`] as their
+//! `#[global_allocator]` and wrap the code under test in
+//! [`count_allocations`]; the serve hot path must report **zero** events
+//! once (or, with [`KstTree::reserve_scratch`], even before) the scratch
+//! arenas are warm. The counter tracks `alloc`, `alloc_zeroed`, and every
+//! `realloc` call (growing or shrinking — both mean the hot path touched
+//! the allocator) — frees are irrelevant to the guarantee.
+//!
+//! The probe delegates to the [`System`] allocator and costs one relaxed
+//! atomic increment per event, so installing it does not distort benchmark
+//! numbers meaningfully.
+//!
+//! [`KstTree::reserve_scratch`]: crate::KstTree::reserve_scratch
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATION_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation events.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: kst_core::alloc_probe::CountingAlloc =
+///     kst_core::alloc_probe::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocation events recorded so far (0 forever unless
+/// [`CountingAlloc`] is installed as the global allocator).
+pub fn allocation_events() -> u64 {
+    ALLOCATION_EVENTS.load(Ordering::SeqCst)
+}
+
+/// Runs `f` and returns its result together with the number of allocation
+/// events it triggered. Only meaningful when [`CountingAlloc`] is the
+/// global allocator and no other thread allocates concurrently.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = allocation_events();
+    let out = f();
+    (out, allocation_events() - start)
+}

@@ -101,7 +101,9 @@ impl KPlusOneSplayNet {
         shape.children[c1_shape as usize] = c1_children.clone();
         shape.root = c1_shape;
 
-        let tree = KstTree::from_shape(k, &shape);
+        let mut tree = KstTree::from_shape(k, &shape);
+        // Serve-path operations must not allocate, from the first request on.
+        tree.reserve_scratch(SplayStrategy::KSplay.span());
         // Membership by contiguous in-order key ranges.
         let mut member = vec![0u16; n];
         let mut next_key = 1usize;
@@ -149,9 +151,11 @@ impl KPlusOneSplayNet {
         }
     }
 
-    /// Overrides the splay strategy (ablation).
+    /// Overrides the splay strategy (ablation) and re-sizes the scratch
+    /// arenas for its path span.
     pub fn with_strategy(mut self, strategy: SplayStrategy) -> KPlusOneSplayNet {
         self.strategy = strategy;
+        self.tree.reserve_scratch(strategy.span());
         self
     }
 
@@ -203,12 +207,14 @@ impl Network for KPlusOneSplayNet {
     }
 
     fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
-        let routing = self.tree.distance_keys(u, v);
         if u == v {
             return ServeCost::default();
         }
         let nu = self.tree.node_of(u);
         let nv = self.tree.node_of(v);
+        // Routing charge and LCA from a single pointer chase; the LCA is
+        // only consumed on the same-subtree path below.
+        let (routing, w) = self.tree.distance_lca(nu, nv);
         let mu = self.member[(u - 1) as usize];
         let mv = self.member[(v - 1) as usize];
         let mut stats = SplayStats::default();
@@ -216,7 +222,6 @@ impl Network for KPlusOneSplayNet {
             // Same subtree: exactly the k-ary SplayNet discipline, confined
             // to the subtree (the boundary chain never includes c1/c2
             // strictly below, so the centroids cannot move).
-            let w = self.tree.lca(nu, nv);
             if w == nu {
                 stats = add(
                     stats,

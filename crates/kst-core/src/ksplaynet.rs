@@ -9,7 +9,7 @@
 //! rotations replaced by the paper's k-ary ones, which by Theorem 12/13
 //! preserves SplayNet's entropy bound.
 
-use crate::key::NodeKey;
+use crate::key::{NodeIdx, NodeKey};
 use crate::net::{Network, ServeCost};
 use crate::restructure::WindowPolicy;
 use crate::splay::{SplayStats, SplayStrategy};
@@ -31,18 +31,24 @@ impl KSplayNet {
         KSplayNet::from_tree(KstTree::balanced(k, n))
     }
 
-    /// Starts from an arbitrary initial k-ary search tree.
+    /// Starts from an arbitrary initial k-ary search tree. The tree's
+    /// scratch arenas are pre-sized for the strategy's path span, so even
+    /// the very first serve performs zero heap allocations.
     pub fn from_tree(tree: KstTree) -> KSplayNet {
-        KSplayNet {
+        let mut net = KSplayNet {
             tree,
             strategy: SplayStrategy::KSplay,
             policy: WindowPolicy::Paper,
-        }
+        };
+        net.tree.reserve_scratch(net.strategy.span());
+        net
     }
 
-    /// Overrides the splay strategy (ablation).
+    /// Overrides the splay strategy (ablation) and re-sizes the scratch
+    /// arenas for its path span.
     pub fn with_strategy(mut self, strategy: SplayStrategy) -> KSplayNet {
         self.strategy = strategy;
+        self.tree.reserve_scratch(strategy.span());
         self
     }
 
@@ -76,6 +82,12 @@ impl KSplayNet {
             return SplayStats::default();
         }
         let w = self.tree.lca(nu, nv);
+        self.adjust_at(nu, nv, w)
+    }
+
+    /// Adjustment with the LCA already in hand (one pointer chase shared
+    /// with the routing charge — see [`KstTree::distance_lca`]).
+    fn adjust_at(&mut self, nu: NodeIdx, nv: NodeIdx, w: NodeIdx) -> SplayStats {
         let mut stats = SplayStats::default();
         if w == nu {
             // u is an ancestor of v: splay v up to be u's child.
@@ -122,8 +134,27 @@ impl Network for KSplayNet {
     }
 
     fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
-        let routing = self.tree.distance_keys(u, v);
-        let stats = self.adjust(u, v);
+        let nu = self.tree.node_of(u);
+        let nv = self.tree.node_of(v);
+        if nu == nv {
+            return ServeCost::default();
+        }
+        // Adjacency fast path: when the endpoints already share a link the
+        // LCA is the upper endpoint and both splays return without moving
+        // anything, so the full discipline provably reduces to a routing
+        // charge of one — no depth walks needed. This makes converged
+        // hot-pair serves O(1) with two memory reads.
+        if self.tree.parent(nv) == nu || self.tree.parent(nu) == nv {
+            return ServeCost {
+                routing: 1,
+                ..ServeCost::default()
+            };
+        }
+        // One pointer chase yields both the routing charge and the splay
+        // target; the old distance-then-lca pattern walked the same access
+        // paths up to nine times per request.
+        let (routing, w) = self.tree.distance_lca(nu, nv);
+        let stats = self.adjust_at(nu, nv, w);
         ServeCost {
             routing,
             rotations: stats.rotations,

@@ -45,6 +45,10 @@ pub struct LazyKaryNet<R: Rebuild> {
     epoch_demand: Vec<u64>,
     /// total rebuilds performed
     rebuilds: u64,
+    /// persistent buffers for rebuild link accounting (serves between
+    /// rebuilds are allocation-free; rebuilds reuse these across epochs)
+    edges_before: Vec<(NodeIdx, NodeIdx)>,
+    edges_after: Vec<(NodeIdx, NodeIdx)>,
 }
 
 impl<R: Rebuild> LazyKaryNet<R> {
@@ -59,6 +63,8 @@ impl<R: Rebuild> LazyKaryNet<R> {
             since_rebuild: 0,
             epoch_demand: vec![0; n * n],
             rebuilds: 0,
+            edges_before: Vec::with_capacity(n.saturating_sub(1)),
+            edges_after: Vec::with_capacity(n.saturating_sub(1)),
         }
     }
 
@@ -72,9 +78,10 @@ impl<R: Rebuild> LazyKaryNet<R> {
         &self.tree
     }
 
-    /// Counts undirected links in a tree as (min, max) node pairs, sorted.
-    fn edge_set(t: &KstTree) -> Vec<(NodeIdx, NodeIdx)> {
-        let mut edges = Vec::with_capacity(t.n().saturating_sub(1));
+    /// Collects the undirected links of a tree as sorted (min, max) node
+    /// pairs into a reusable buffer.
+    fn edge_set_into(t: &KstTree, edges: &mut Vec<(NodeIdx, NodeIdx)>) {
+        edges.clear();
         for v in t.nodes() {
             let p = t.parent(v);
             if p != NIL {
@@ -82,7 +89,6 @@ impl<R: Rebuild> LazyKaryNet<R> {
             }
         }
         edges.sort_unstable();
-        edges
     }
 }
 
@@ -106,9 +112,9 @@ impl<R: Rebuild> Network for LazyKaryNet<R> {
         if self.since_rebuild >= self.alpha {
             let shape = self.rebuilder.rebuild(n, &self.epoch_demand);
             let new_tree = KstTree::from_shape(self.k, &shape);
-            let before = Self::edge_set(&self.tree);
-            let after = Self::edge_set(&new_tree);
-            links_changed = sym_diff(&before, &after);
+            Self::edge_set_into(&self.tree, &mut self.edges_before);
+            Self::edge_set_into(&new_tree, &mut self.edges_after);
+            links_changed = sym_diff(&self.edges_before, &self.edges_after);
             self.tree = new_tree;
             self.since_rebuild = 0;
             self.epoch_demand.iter_mut().for_each(|d| *d = 0);

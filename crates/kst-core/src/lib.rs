@@ -32,6 +32,7 @@
 //! assert_eq!(net.distance(17, 93), 1); // endpoints now adjacent
 //! ```
 
+pub mod alloc_probe;
 pub mod centroid_net;
 pub mod invariants;
 pub mod key;

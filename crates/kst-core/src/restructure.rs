@@ -60,6 +60,16 @@ impl KstTree {
     /// Generalized k-splay on a downward path (`path[i+1]` must be a child
     /// of `path[i]`, `path.len() >= 2`). After the call `path.last()`
     /// occupies the old position of `path\[0\]`.
+    ///
+    /// Hot-path implementation notes: the merged super-node is assembled in
+    /// a **single pass** (one descent copying prefixes, one ascent copying
+    /// suffixes — no `Vec::insert` shifting), all working state lives in
+    /// the tree's persistent scratch arenas (zero heap allocation once the
+    /// arenas are warm — `reserve_scratch` makes even the first call
+    /// allocation-free), and the key-gap positions of every path node are
+    /// computed once on the merged array and then maintained incrementally
+    /// as each re-form step consumes its window, instead of being
+    /// re-searched from scratch per step.
     pub fn restructure(&mut self, path: &[NodeIdx], policy: WindowPolicy) -> RestructureStats {
         let d = path.len();
         assert!(d >= 2, "restructure needs at least two nodes");
@@ -76,74 +86,106 @@ impl KstTree {
         };
         let (frag_lo, frag_hi) = self.bounds(top);
 
-        // --- 1. merge ------------------------------------------------------
-        // Reuse scratch buffers: elems (d·(k-1)) and slots (d·(k-1)+1).
+        // --- 1. merge (single pass) ----------------------------------------
+        // Scratch arenas: elems (d·(k-1)), slots (d·(k-1)+1), per-slot
+        // origin tags, slot positions of each path child within its parent,
+        // and key-gap positions.
         let mut elems = std::mem::take(&mut self.scratch_elems);
         let mut slots = std::mem::take(&mut self.scratch_slots);
-        let mut before = std::mem::take(&mut self.scratch_edges);
+        let mut origin = std::mem::take(&mut self.scratch_origin);
+        let mut pos = std::mem::take(&mut self.scratch_pos);
+        let mut gaps = std::mem::take(&mut self.scratch_gaps);
         elems.clear();
         slots.clear();
-        before.clear();
+        origin.clear();
+        pos.clear();
+        gaps.clear();
 
-        elems.extend_from_slice(self.elems(top));
-        slots.extend_from_slice(self.children(top));
-        for &child in &path[1..] {
-            let pos = slots
-                .iter()
-                .position(|&s| s == child)
-                .expect("path node missing from merged slots");
-            // Splice child's elems/slots into its slot position.
-            // slots: [..pos, child, pos+1..] -> [..pos, child_slots…, pos+1..]
-            // elems: child's elements enter between elems[pos-1] and
-            // elems[pos] (positionally; values are consistent by the search
-            // property).
-            // Insert elements at position `pos` (elements before slot j are
-            // exactly the first j merged elements).
-            for i in 0..km1 {
-                let e = self.elems(child)[i];
-                elems.insert(pos + i, e);
-            }
-            slots.remove(pos);
-            for i in 0..k {
-                let s = self.children(child)[i];
-                slots.insert(pos + i, s);
-            }
+        // The merged array is the nested splice of each node's arrays into
+        // its parent's slot gap. Emit it front-to-back: descending, copy the
+        // strict prefix of each node up to the slot holding the next path
+        // node; at the deepest node copy everything; ascending, copy the
+        // suffixes. No element is ever moved twice. `origin[t]` tags each
+        // merged slot with the path index of the node it hung from.
+        for w in 0..d - 1 {
+            let p = self.slot_of(path[w], path[w + 1]);
+            pos.push(p as u32);
+            elems.extend_from_slice(&self.elems(path[w])[..p]);
+            slots.extend_from_slice(&self.children(path[w])[..p]);
+            origin.resize(slots.len(), w as u32);
+        }
+        elems.extend_from_slice(self.elems(path[d - 1]));
+        slots.extend_from_slice(self.children(path[d - 1]));
+        origin.resize(slots.len(), (d - 1) as u32);
+        for w in (0..d - 1).rev() {
+            let p = pos[w] as usize;
+            elems.extend_from_slice(&self.elems(path[w])[p..]);
+            slots.extend_from_slice(&self.children(path[w])[p + 1..]);
+            origin.resize(slots.len(), w as u32);
         }
         debug_assert_eq!(elems.len(), d * km1);
         debug_assert_eq!(slots.len(), d * km1 + 1);
         debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
 
-        // Record the affected (undirected) link set for adjustment-cost
-        // accounting: links are physical and carry no direction.
-        if anchor != NIL {
-            before.push(undirected(anchor, top));
+        // Key-gap position of every path node in the merged array, computed
+        // once; re-form steps below keep them current incrementally.
+        for &node in path {
+            gaps.push(elems.partition_point(|&e| e < key_image(node + 1)));
         }
-        for w in 0..d - 1 {
-            before.push(undirected(path[w], path[w + 1]));
-        }
-        for &s in slots.iter() {
-            if s != NIL {
-                before.push(undirected(self.parent(s), s));
-            }
-        }
-        before.sort_unstable();
+
+        // Link accounting without materializing edge sets: the affected
+        // undirected links before the restructure are the anchor edge, the
+        // d-1 path edges, and one edge per non-NIL merged slot; afterwards,
+        // the same count. An edge survives iff a consumed slot lands under
+        // the same node it hung from (`origin` match), or an adjacent path
+        // pair swaps orientation (a collapsed path node consumed by its own
+        // old path child — a flip). Everything else is one removal plus one
+        // addition, so links_changed = 2·(total − matches).
+        let n_s = slots.iter().filter(|&&s| s != NIL).count() as u64;
+        let affected = n_s + (d as u64 - 1) + u64::from(anchor != NIL);
+        let mut matches = 0u64;
+        // Origin tag for a path node collapsed at re-form step `j`.
+        const COLLAPSED: u32 = 1 << 31;
 
         // --- 2. re-form nodes ---------------------------------------------
         for i in 0..d {
             let node = path[i];
             let m = elems.len();
-            let img = key_image(node + 1);
-            let gap = elems.partition_point(|&e| e < img);
-            if i + 1 == d {
+            let gap = gaps[i];
+            debug_assert_eq!(gap, elems.partition_point(|&e| e < key_image(node + 1)));
+            let (a, consumed) = if i + 1 == d {
                 // Fragment root takes everything that remains.
                 debug_assert_eq!(m, km1);
+                (0, km1 + 1)
+            } else {
+                let a_min = gap.saturating_sub(km1);
+                let a_max = gap.min(m - km1);
+                debug_assert!(a_min <= a_max);
+                (
+                    choose_window(policy, a_min, a_max, gap, km1, &gaps[i + 1..]),
+                    km1 + 1,
+                )
+            };
+            for t in a..a + consumed {
+                if slots[t] == NIL {
+                    continue;
+                }
+                let o = origin[t];
+                if o & COLLAPSED == 0 {
+                    // Original subtree slot: unchanged iff it stays under
+                    // the node it hung from.
+                    matches += u64::from(o as usize == i);
+                } else {
+                    // Collapsed path node from step j: the old edge
+                    // (path[j], path[j+1]) survives with flipped
+                    // orientation iff path[j+1] consumes it now.
+                    matches += u64::from((o & !COLLAPSED) as usize + 1 == i);
+                }
+            }
+            if i + 1 == d {
                 self.install_node(node, &elems, &slots, frag_lo, frag_hi);
                 break;
             }
-            let a_min = gap.saturating_sub(km1);
-            let a_max = gap.min(m - km1);
-            debug_assert!(a_min <= a_max);
-            let a = choose_window(policy, a_min, a_max, gap, km1, &elems, &path[i + 1..]);
             let lo = if a == 0 { frag_lo } else { elems[a - 1] };
             let hi = if a + km1 == m {
                 frag_hi
@@ -151,8 +193,23 @@ impl KstTree {
                 elems[a + km1]
             };
             self.install_node(node, &elems[a..a + km1], &slots[a..=a + km1], lo, hi);
-            elems.drain(a..a + km1);
-            slots.splice(a..=a + km1, std::iter::once(node));
+            // Compact in place (drain/splice without the iterator
+            // machinery): remove the consumed window, leave the collapsed
+            // node in its gap.
+            elems.copy_within(a + km1.., a);
+            elems.truncate(m - km1);
+            slots[a] = node;
+            slots.copy_within(a + km1 + 1.., a + 1);
+            slots.truncate(m + 1 - km1);
+            origin[a] = COLLAPSED | i as u32;
+            origin.copy_within(a + km1 + 1.., a + 1);
+            origin.truncate(m + 1 - km1);
+            // Incremental window maintenance: removing elems[a..a+km1]
+            // shifts any pending gap position q down by however many of the
+            // removed elements preceded it — exactly clamp(q - a, 0, km1).
+            for g in gaps[i + 1..].iter_mut() {
+                *g -= (*g).saturating_sub(a).min(km1);
+            }
         }
 
         // --- 3. reattach ----------------------------------------------------
@@ -164,26 +221,13 @@ impl KstTree {
             self.children_mut(anchor)[anchor_slot] = new_top;
         }
 
-        // --- links-changed accounting ---------------------------------------
-        let mut after: Vec<(NodeIdx, NodeIdx)> = Vec::with_capacity(before.len());
-        if anchor != NIL {
-            after.push(undirected(anchor, new_top));
-        }
-        for &p in path {
-            for &c in self.children(p) {
-                if c != NIL {
-                    after.push(undirected(p, c));
-                }
-            }
-        }
-        after.sort_unstable();
-        let changed = symmetric_difference_count(&before, &after);
-
         self.scratch_elems = elems;
         self.scratch_slots = slots;
-        self.scratch_edges = before;
+        self.scratch_origin = origin;
+        self.scratch_pos = pos;
+        self.scratch_gaps = gaps;
         RestructureStats {
-            links_changed: changed,
+            links_changed: 2 * (affected - matches),
             rotations: (d - 1) as u64,
         }
     }
@@ -216,18 +260,17 @@ impl KstTree {
         lo: RoutingKey,
         hi: RoutingKey,
     ) {
-        debug_assert_eq!(elems.len(), self.k() - 1);
-        debug_assert_eq!(slots.len(), self.k());
+        let k = self.k();
+        debug_assert_eq!(elems.len(), k - 1);
+        debug_assert_eq!(slots.len(), k);
         self.elems_mut(node).copy_from_slice(elems);
         self.children_mut(node).copy_from_slice(slots);
         self.set_bounds(node, lo, hi);
-        let k = self.k();
-        for j in 0..k {
-            let c = self.children(node)[j];
+        for (j, &c) in slots.iter().enumerate() {
             if c != NIL {
                 self.set_parent(c, node);
-                let clo = if j == 0 { lo } else { self.elems(node)[j - 1] };
-                let chi = if j == k - 1 { hi } else { self.elems(node)[j] };
+                let clo = if j == 0 { lo } else { elems[j - 1] };
+                let chi = if j == k - 1 { hi } else { elems[j] };
                 self.set_bounds(c, clo, chi);
             }
         }
@@ -235,15 +278,16 @@ impl KstTree {
 }
 
 /// Chooses the window start within `[a_min, a_max]` for a node whose key
-/// sits at `gap` in the current merged array.
+/// sits at `gap` in the current merged array. `pend_gaps` holds the
+/// (incrementally maintained) gap positions of the pending path keys; only
+/// the first 8 are considered.
 fn choose_window(
     policy: WindowPolicy,
     a_min: usize,
     a_max: usize,
     gap: usize,
     km1: usize,
-    elems: &[RoutingKey],
-    pending: &[NodeIdx],
+    pend_gaps: &[usize],
 ) -> usize {
     match policy {
         WindowPolicy::Leftmost => a_min,
@@ -252,13 +296,7 @@ fn choose_window(
             if a_min == a_max {
                 return a_min;
             }
-            // Gap positions of the pending path keys in the current array.
-            let mut pend_gaps: [usize; 8] = [usize::MAX; 8];
-            let mut np = 0;
-            for &p in pending.iter().take(8) {
-                pend_gaps[np] = elems.partition_point(|&e| e < key_image(p + 1));
-                np += 1;
-            }
+            let np = pend_gaps.len().min(8);
             // A window starting at `a` spans gaps a..=a+km1.
             let clean =
                 |a: usize| -> bool { pend_gaps[..np].iter().all(|&q| q < a || q > a + km1) };
@@ -285,37 +323,6 @@ fn choose_window(
             best
         }
     }
-}
-
-#[inline]
-fn undirected(a: NodeIdx, b: NodeIdx) -> (NodeIdx, NodeIdx) {
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
-    }
-}
-
-/// Number of elements present in exactly one of two sorted pair lists.
-fn symmetric_difference_count(a: &[(NodeIdx, NodeIdx)], b: &[(NodeIdx, NodeIdx)]) -> u64 {
-    let (mut i, mut j, mut diff) = (0usize, 0usize, 0u64);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Less => {
-                diff += 1;
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                diff += 1;
-                j += 1;
-            }
-        }
-    }
-    diff + (a.len() - i) as u64 + (b.len() - j) as u64
 }
 
 #[cfg(test)]

@@ -25,8 +25,10 @@ pub enum SplayStrategy {
 }
 
 impl SplayStrategy {
-    /// Nodes per restructure step.
-    fn span(self) -> usize {
+    /// Nodes per restructure step (the maximum downward-path length handed
+    /// to `restructure`; networks pass it to `KstTree::reserve_scratch` so
+    /// the scratch arenas are sized before the first serve).
+    pub fn span(self) -> usize {
         match self {
             SplayStrategy::KSplay => 3,
             SplayStrategy::SemiOnly => 2,
@@ -57,6 +59,9 @@ impl KstTree {
     /// Splays `z` upward until its parent is `boundary` (`NIL` splays to the
     /// root). All restructures happen strictly below `boundary`, which is
     /// never moved. Panics if `boundary` is not an ancestor of `z`.
+    ///
+    /// Path extraction reuses the tree's scratch path arena, so repeated
+    /// splay steps — and repeated serves — allocate nothing.
     pub fn splay_until(
         &mut self,
         z: NodeIdx,
@@ -66,11 +71,11 @@ impl KstTree {
     ) -> SplayStats {
         let span = strategy.span();
         let mut stats = SplayStats::default();
-        let mut path: Vec<NodeIdx> = Vec::with_capacity(span);
+        let mut path = std::mem::take(&mut self.scratch_path);
         loop {
             let p = self.parent(z);
             if p == boundary {
-                return stats;
+                break;
             }
             debug_assert!(p != NIL, "boundary was not an ancestor of z");
             // Collect up to `span` nodes of the path above z (top first).
@@ -89,6 +94,8 @@ impl KstTree {
             path.reverse();
             stats.add(self.restructure(&path, policy));
         }
+        self.scratch_path = path;
+        stats
     }
 }
 

@@ -15,15 +15,49 @@
 //!   touched by a rotation and may be a (safe) superset for nodes whose
 //!   enclosing gap widened.
 //!
-//! Layout is struct-of-arrays over flat vectors: parents, per-node element
-//! slices (`k - 1` wide), per-node child slices (`k` wide). No per-operation
-//! heap allocation: restructuring reuses workhorse scratch buffers.
+//! # Arena layout invariants
+//!
+//! Layout is struct-of-arrays over flat vectors — **no per-node `Vec` exists
+//! anywhere on the serve path**, and every per-request working set lives in
+//! scratch arenas owned by the tree:
+//!
+//! * `parent[v]` — parent index, `NIL` for the root (stride 1);
+//! * `elems[v * (k-1) .. (v+1) * (k-1)]` — the node's `k - 1` strictly
+//!   increasing routing elements (stride `k - 1`);
+//! * `children[v * k .. (v+1) * k]` — the node's `k` child slots (stride
+//!   `k`, `NIL` = empty slot);
+//! * `lo[v]` / `hi[v]` — stored interval bounds (stride 1).
+//!
+//! Strides are fixed at construction; node `v`'s state is always located by
+//! multiplication, never by pointer chasing, and rotations only ever
+//! `copy_from_slice` whole per-node windows.
+//!
+//! # Scratch reuse contract
+//!
+//! The `scratch_*` fields are reusable arenas for [`restructure`] and
+//! [`splay_until`] (`crate::restructure` / `crate::splay`): merged element /
+//! slot buffers, per-slot origin tags for link accounting, the access
+//! path, per-path slot positions, and per-path key-gap positions. The
+//! contract is:
+//!
+//! * a serve-path operation `std::mem::take`s the buffers it needs, clears
+//!   them, and moves them back before returning (so panics at worst leave
+//!   an empty scratch, never a dangling one);
+//! * buffers only ever grow; after [`KstTree::reserve_scratch`] (called by
+//!   every network constructor) or one warm-up operation at the deepest
+//!   path span in use, **no serve-path operation allocates** — the
+//!   zero-allocation tests and bench assertions enforce this;
+//! * scratch contents are meaningless between operations; only capacity
+//!   persists. `Clone` transfers scratch **capacity** (never contents), so
+//!   cloned trees keep the zero-allocation guarantee.
+//!
+//! [`restructure`]: KstTree::restructure
+//! [`splay_until`]: KstTree::splay_until
 
 use crate::key::{idx_to_key, key_image, key_to_idx, NodeIdx, NodeKey, RoutingKey, NIL};
 use crate::shape::ShapeTree;
 
 /// A k-ary search tree on `n` nodes with permanent identifiers `1..=n`.
-#[derive(Clone)]
 pub struct KstTree {
     k: usize,
     n: usize,
@@ -37,10 +71,20 @@ pub struct KstTree {
     /// subtree key images.
     lo: Vec<RoutingKey>,
     hi: Vec<RoutingKey>,
-    /// Scratch buffers reused by `restructure`.
+    /// Scratch arenas reused by the serve path (see the module docs for the
+    /// reuse contract): merged routing elements …
     pub(crate) scratch_elems: Vec<RoutingKey>,
+    /// … merged child slots …
     pub(crate) scratch_slots: Vec<NodeIdx>,
-    pub(crate) scratch_edges: Vec<(NodeIdx, NodeIdx)>,
+    /// … per-merged-slot origin tags for O(d·k) link accounting …
+    pub(crate) scratch_origin: Vec<u32>,
+    /// … the access path buffer threaded through `splay_until` …
+    pub(crate) scratch_path: Vec<NodeIdx>,
+    /// … per-path-node slot positions used by the single-pass merge …
+    pub(crate) scratch_pos: Vec<u32>,
+    /// … and per-path-node key-gap positions, maintained incrementally
+    /// across the re-form steps of one restructure.
+    pub(crate) scratch_gaps: Vec<usize>,
 }
 
 impl KstTree {
@@ -70,7 +114,10 @@ impl KstTree {
             hi: vec![0; n],
             scratch_elems: Vec::new(),
             scratch_slots: Vec::new(),
-            scratch_edges: Vec::new(),
+            scratch_origin: Vec::new(),
+            scratch_path: Vec::new(),
+            scratch_pos: Vec::new(),
+            scratch_gaps: Vec::new(),
         };
         // Key range (min, max key) of every shape subtree, for element
         // placement.
@@ -91,7 +138,18 @@ impl KstTree {
                 max_key[v as usize] = max_key[v as usize].max(max_key[c as usize]);
             }
         }
-        // Pre-order: materialize each node given its interval.
+        // Pre-order: materialize each node given its interval. The working
+        // vectors are hoisted out of the loop and reused per node, so the
+        // build allocates O(1) times past the initial arena reservation.
+        #[derive(Clone, Copy)]
+        struct Item {
+            lo_img: RoutingKey,
+            hi_img: RoutingKey,
+            chunk: usize, // usize::MAX for the own key
+        }
+        let mut elems: Vec<RoutingKey> = Vec::with_capacity(k - 1);
+        let mut slot_of_chunk: Vec<usize> = Vec::with_capacity(k);
+        let mut items: Vec<Item> = Vec::with_capacity(k + 1);
         let mut stack: Vec<(u32, RoutingKey, RoutingKey)> = vec![(shape.root, 0, RoutingKey::MAX)];
         while let Some((v, lo, hi)) = stack.pop() {
             let vi = key_to_idx(keys[v as usize]) as usize;
@@ -105,17 +163,10 @@ impl KstTree {
             // chunks; spares isolate the own key, then pile up at the left
             // boundary as empty leading slots.
             let c = cs.len();
-            let mut elems: Vec<RoutingKey> = Vec::with_capacity(k - 1);
-            let mut slot_of_chunk: Vec<usize> = vec![usize::MAX; c];
-            // Build the ordered item list: (is_key, chunk_index)
-            // with bounds for value selection.
-            #[derive(Clone, Copy)]
-            struct Item {
-                lo_img: RoutingKey,
-                hi_img: RoutingKey,
-                chunk: usize, // usize::MAX for the own key
-            }
-            let mut items: Vec<Item> = Vec::with_capacity(c + 1);
+            elems.clear();
+            slot_of_chunk.clear();
+            slot_of_chunk.resize(c, usize::MAX);
+            items.clear();
             for (i, &ch) in cs.iter().enumerate() {
                 if i == gap {
                     items.push(Item {
@@ -319,39 +370,62 @@ impl KstTree {
 
     /// Lowest common ancestor of `u` and `v`. O(depth).
     pub fn lca(&self, u: NodeIdx, v: NodeIdx) -> NodeIdx {
-        let mut du = self.depth(u);
-        let mut dv = self.depth(v);
-        let (mut a, mut b) = (u, v);
-        while du > dv {
-            a = self.parent[a as usize];
-            du -= 1;
-        }
-        while dv > du {
-            b = self.parent[b as usize];
-            dv -= 1;
-        }
-        while a != b {
-            a = self.parent[a as usize];
-            b = self.parent[b as usize];
-        }
-        a
+        self.distance_lca(u, v).1
     }
 
     /// Tree distance (hops) between node indices.
     pub fn distance(&self, u: NodeIdx, v: NodeIdx) -> u64 {
+        self.distance_lca(u, v).0
+    }
+
+    /// Tree distance and lowest common ancestor in **one pass** over the
+    /// access paths (two depth walks plus one aligned climb). The serve hot
+    /// path uses this so the routing charge and the splay target come out
+    /// of the same pointer chase instead of six-plus redundant root walks.
+    pub fn distance_lca(&self, u: NodeIdx, v: NodeIdx) -> (u64, NodeIdx) {
         if u == v {
-            return 0;
+            return (0, u);
         }
         let du = self.depth(u);
         let dv = self.depth(v);
-        let w = self.lca(u, v);
-        let dw = self.depth(w);
-        (du + dv - 2 * dw) as u64
+        let (mut a, mut b) = (u, v);
+        let (mut da, mut db) = (du, dv);
+        while da > db {
+            a = self.parent[a as usize];
+            da -= 1;
+        }
+        while db > da {
+            b = self.parent[b as usize];
+            db -= 1;
+        }
+        while a != b {
+            a = self.parent[a as usize];
+            b = self.parent[b as usize];
+            da -= 1;
+        }
+        ((du - da + (dv - da)) as u64, a)
     }
 
     /// Tree distance between two keys.
     pub fn distance_keys(&self, u: NodeKey, v: NodeKey) -> u64 {
         self.distance(self.node_of(u), self.node_of(v))
+    }
+
+    /// Pre-sizes the serve-path scratch arenas for restructure paths of up
+    /// to `span` nodes, so that **no serve-path operation ever allocates**
+    /// — not even the first one. Called by every network constructor with
+    /// its splay strategy's span; idempotent and monotone (capacity only
+    /// grows). See the module docs for the scratch reuse contract.
+    pub fn reserve_scratch(&mut self, span: usize) {
+        let span = span.max(2);
+        let km1 = self.k - 1;
+        let merged = span * km1;
+        reserve_to(&mut self.scratch_elems, merged);
+        reserve_to(&mut self.scratch_slots, merged + 1);
+        reserve_to(&mut self.scratch_origin, merged + 1);
+        reserve_to(&mut self.scratch_path, span);
+        reserve_to(&mut self.scratch_pos, span);
+        reserve_to(&mut self.scratch_gaps, span);
     }
 
     /// Sorted copy of the global routing-element multiset; conserved by all
@@ -365,6 +439,38 @@ impl KstTree {
     /// Iterates node indices `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeIdx> {
         0..self.n as NodeIdx
+    }
+}
+
+/// Grows `v`'s capacity to at least `cap` without shrinking.
+fn reserve_to<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve(cap - v.len());
+    }
+}
+
+impl Clone for KstTree {
+    /// Clones the tree state; scratch arenas transfer their **capacity**
+    /// but not their (meaningless between operations) contents, so a clone
+    /// keeps the zero-allocation serve guarantee. A derived impl would do
+    /// the opposite — copy stale contents at shrunk capacity.
+    fn clone(&self) -> KstTree {
+        KstTree {
+            k: self.k,
+            n: self.n,
+            root: self.root,
+            parent: self.parent.clone(),
+            elems: self.elems.clone(),
+            children: self.children.clone(),
+            lo: self.lo.clone(),
+            hi: self.hi.clone(),
+            scratch_elems: Vec::with_capacity(self.scratch_elems.capacity()),
+            scratch_slots: Vec::with_capacity(self.scratch_slots.capacity()),
+            scratch_origin: Vec::with_capacity(self.scratch_origin.capacity()),
+            scratch_path: Vec::with_capacity(self.scratch_path.capacity()),
+            scratch_pos: Vec::with_capacity(self.scratch_pos.capacity()),
+            scratch_gaps: Vec::with_capacity(self.scratch_gaps.capacity()),
+        }
     }
 }
 

@@ -51,6 +51,17 @@ impl Metrics {
         self.routing + self.rotations
     }
 
+    /// Mean total unit cost (routing + rotations) per request — the
+    /// per-request serve cost the scale tests assert stays flat across
+    /// windows.
+    pub fn avg_total_unit_cost(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_unit_cost() as f64 / self.requests as f64
+        }
+    }
+
     /// Merges two metric sets (for sharded runs).
     pub fn merge(&mut self, other: &Metrics) {
         self.requests += other.requests;

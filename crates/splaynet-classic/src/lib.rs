@@ -111,8 +111,20 @@ impl ClassicSplayNet {
     }
 
     fn lca(&self, u: u32, v: u32) -> u32 {
+        self.distance_lca_idx(u, v).1
+    }
+
+    /// Tree distance and LCA from a single pass over the access paths (the
+    /// serve hot path charges routing and picks its splay target from the
+    /// same pointer chase — mirroring `KstTree::distance_lca`).
+    fn distance_lca_idx(&self, u: u32, v: u32) -> (u64, u32) {
+        if u == v {
+            return (0, u);
+        }
+        let du = self.depth(u);
+        let dv = self.depth(v);
         let (mut a, mut b) = (u, v);
-        let (mut da, mut db) = (self.depth(a), self.depth(b));
+        let (mut da, mut db) = (du, dv);
         while da > db {
             a = self.parent[a as usize];
             da -= 1;
@@ -124,17 +136,14 @@ impl ClassicSplayNet {
         while a != b {
             a = self.parent[a as usize];
             b = self.parent[b as usize];
+            da -= 1;
         }
-        a
+        ((du - da + (dv - da)) as u64, a)
     }
 
     /// Tree distance between two node indices.
     pub fn dist_idx(&self, u: u32, v: u32) -> u64 {
-        if u == v {
-            return 0;
-        }
-        let w = self.lca(u, v);
-        (self.depth(u) + self.depth(v) - 2 * self.depth(w)) as u64
+        self.distance_lca_idx(u, v).0
     }
 
     /// Rotates `x` above its parent; returns the number of physical links
@@ -210,6 +219,11 @@ impl ClassicSplayNet {
             return (0, 0);
         }
         let w = self.lca(nu, nv);
+        self.adjust_at(nu, nv, w)
+    }
+
+    /// Adjustment with the LCA already in hand.
+    fn adjust_at(&mut self, nu: u32, nv: u32, w: u32) -> (u64, u64) {
         if w == nu {
             self.splay_until(nv, nu)
         } else if w == nv {
@@ -279,8 +293,21 @@ impl Network for ClassicSplayNet {
     }
 
     fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
-        let routing = self.distance(u, v);
-        let (rotations, links_changed) = self.adjust(u, v);
+        let nu = u - 1;
+        let nv = v - 1;
+        if nu == nv {
+            return ServeCost::default();
+        }
+        // Adjacency fast path (mirrors KSplayNet::serve): adjacent
+        // endpoints route in one hop and the double splay is a no-op.
+        if self.parent[nv as usize] == nu || self.parent[nu as usize] == nv {
+            return ServeCost {
+                routing: 1,
+                ..ServeCost::default()
+            };
+        }
+        let (routing, w) = self.distance_lca_idx(nu, nv);
+        let (rotations, links_changed) = self.adjust_at(nu, nv, w);
         ServeCost {
             routing,
             rotations,

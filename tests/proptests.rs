@@ -147,6 +147,74 @@ proptest! {
     }
 
     #[test]
+    fn serve_sequences_preserve_multiset_bounds_and_symmetry(
+        k in 2usize..=8,
+        seed in 0u64..400,
+    ) {
+        // After ANY serve sequence: the element multiset is conserved, the
+        // stored lo/hi bounds contain every node's exact enclosing gap, and
+        // parent/child links are symmetric with a single root.
+        let n = 56;
+        let mut net = KSplayNet::balanced(k, n);
+        let snapshot = net.tree().element_multiset();
+        let trace = gens::zipf(n, 180, 1.1, seed);
+        for &(u, v) in trace.requests() {
+            let c = net.serve(u, v);
+            // the paper's experimental cost model: total = routing + rotations
+            prop_assert_eq!(c.total_unit(), c.routing + c.rotations);
+        }
+        let t = net.tree();
+        prop_assert_eq!(t.element_multiset(), snapshot);
+        let nil = ksan::core::key::NIL;
+        for v in t.nodes() {
+            for &c in t.children(v) {
+                if c != nil {
+                    prop_assert_eq!(t.parent(c), v, "child {} of {}", c + 1, v + 1);
+                }
+            }
+            let p = t.parent(v);
+            if p == nil {
+                prop_assert_eq!(t.root(), v);
+            } else {
+                prop_assert!(t.children(p).contains(&v), "{} not a child of {}", v + 1, p + 1);
+            }
+        }
+        let gaps = exact_gaps(t);
+        for v in t.nodes() {
+            let (lo, hi) = t.bounds(v);
+            let (glo, ghi) = gaps[v as usize];
+            prop_assert!(lo <= glo && ghi <= hi);
+        }
+    }
+
+    #[test]
+    fn serve_costs_partition_exactly_into_window_metrics(
+        k in 2usize..=6,
+        seed in 0u64..300,
+        window in 1usize..=40,
+    ) {
+        // run_windowed's per-window metrics must partition the totals
+        // exactly — requests, routing, rotations, links, and the unit-cost
+        // aggregate all at once.
+        let n = 48;
+        let mut net = KSplayNet::balanced(k, n);
+        let trace = gens::temporal(n, 160, 0.6, seed);
+        let (total, windows) = ksan::sim::run_windowed(&mut net, &trace, window);
+        prop_assert_eq!(windows.iter().map(|w| w.requests).sum::<u64>(), total.requests);
+        prop_assert_eq!(windows.iter().map(|w| w.routing).sum::<u64>(), total.routing);
+        prop_assert_eq!(windows.iter().map(|w| w.rotations).sum::<u64>(), total.rotations);
+        prop_assert_eq!(
+            windows.iter().map(|w| w.links_changed).sum::<u64>(),
+            total.links_changed
+        );
+        prop_assert_eq!(
+            windows.iter().map(|w| w.total_unit_cost()).sum::<u64>(),
+            total.total_unit_cost()
+        );
+        prop_assert_eq!(total.total_unit_cost(), total.routing + total.rotations);
+    }
+
+    #[test]
     fn dist_tree_distance_is_a_tree_metric(
         n in 2usize..40,
         k in 2usize..=6,

@@ -1,0 +1,103 @@
+//! The zero-allocation serve-path guarantee, enforced as a regular test:
+//! with a counting global allocator installed, serving traces on every
+//! network implementation must perform **zero** heap allocations — from the
+//! very first request, since the constructors pre-size the scratch arenas
+//! via `KstTree::reserve_scratch`.
+//!
+//! Everything lives in ONE `#[test]` so no sibling test thread can allocate
+//! concurrently and pollute the counter.
+
+use ksan::core::alloc_probe::{self, CountingAlloc};
+use ksan::core::lazy::LazyKaryNet;
+use ksan::prelude::*;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn serve_all<N: Network>(net: &mut N, trace: &Trace) -> u64 {
+    let mut acc = 0u64;
+    for &(u, v) in trace.requests() {
+        acc += net.serve(u, v).total_unit();
+    }
+    acc
+}
+
+#[test]
+fn serve_paths_never_allocate() {
+    let n = 300;
+    let trace = gens::temporal(n, 2000, 0.6, 11);
+    let zipf = gens::zipf(n, 2000, 1.2, 12);
+
+    // k-ary SplayNet: every arity, both strategies, all window policies.
+    for k in [2usize, 3, 5, 9] {
+        for strategy in [SplayStrategy::KSplay, SplayStrategy::SemiOnly] {
+            for policy in [
+                WindowPolicy::Paper,
+                WindowPolicy::Leftmost,
+                WindowPolicy::Rightmost,
+            ] {
+                let mut net = KSplayNet::balanced(k, n)
+                    .with_strategy(strategy)
+                    .with_policy(policy);
+                let ((), allocs) = alloc_probe::count_allocations(|| {
+                    std::hint::black_box(serve_all(&mut net, &trace));
+                });
+                assert_eq!(
+                    allocs, 0,
+                    "KSplayNet allocated (k={k}, {strategy:?}, {policy:?})"
+                );
+            }
+        }
+    }
+
+    // Deep(d) generalized strategies.
+    for d in [4u8, 6] {
+        let mut net = KSplayNet::balanced(3, n).with_strategy(SplayStrategy::Deep(d));
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            std::hint::black_box(serve_all(&mut net, &zipf));
+        });
+        assert_eq!(allocs, 0, "KSplayNet allocated (Deep({d}))");
+    }
+
+    // Centroid (k+1)-SplayNet.
+    for k in [2usize, 4] {
+        let mut net = KPlusOneSplayNet::new(k, n);
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            std::hint::black_box(serve_all(&mut net, &trace));
+        });
+        assert_eq!(allocs, 0, "KPlusOneSplayNet allocated (k={k})");
+    }
+
+    // Cloned networks inherit the scratch *capacity* (KstTree's manual
+    // Clone), so a clone serves allocation-free from its first request too.
+    {
+        let original = KSplayNet::balanced(4, n);
+        let mut net = original.clone();
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            std::hint::black_box(serve_all(&mut net, &trace));
+        });
+        assert_eq!(allocs, 0, "cloned KSplayNet allocated");
+    }
+
+    // Classic binary SplayNet baseline.
+    {
+        let mut net = ClassicSplayNet::balanced(n);
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            std::hint::black_box(serve_all(&mut net, &trace));
+        });
+        assert_eq!(allocs, 0, "ClassicSplayNet allocated");
+    }
+
+    // Lazy nets are static between rebuilds: with the threshold out of
+    // reach, serving is allocation-free too (rebuilds themselves may — and
+    // do — allocate by design).
+    {
+        let mut net = LazyKaryNet::new(3, n, u64::MAX, |nn: usize, _: &[u64]| {
+            ShapeTree::balanced_kary(nn, 3)
+        });
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            std::hint::black_box(serve_all(&mut net, &trace));
+        });
+        assert_eq!(allocs, 0, "LazyKaryNet allocated between rebuilds");
+    }
+}
