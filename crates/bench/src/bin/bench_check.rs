@@ -1,0 +1,195 @@
+//! Criterion-baseline guard for the offline bench stand-in.
+//!
+//! The compat `criterion` crate appends one JSON line per benchmark to
+//! the file named by `KSAN_BENCH_JSON`; this binary reduces those lines
+//! to per-benchmark **medians** (a bench may be run several times) and
+//! either snapshots them or compares them against the committed snapshot:
+//!
+//! ```sh
+//! KSAN_BENCH_JSON=/tmp/cur.jsonl cargo bench -p kst-bench --bench serve
+//! cargo run -p kst-bench --bin bench_check -- write  /tmp/cur.jsonl
+//! cargo run -p kst-bench --bin bench_check -- compare /tmp/cur.jsonl
+//! ```
+//!
+//! `compare` exits non-zero when any benchmark present in both sets is
+//! more than `KSAN_BENCH_TOLERANCE` percent (default 25) slower than the
+//! snapshot; new or vanished benchmarks only warn. The snapshot lives at
+//! `results/baselines/bench_medians.json` and is hardware-specific —
+//! regenerate it with `write` when the reference machine changes.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn baseline_path() -> PathBuf {
+    kst_bench::results_dir()
+        .join("baselines")
+        .join("bench_medians.json")
+}
+
+/// Extracts `"key":<string>` and `"key":<number>` fields from one
+/// hand-rolled JSON line (the only producer is the compat criterion
+/// crate, so a full parser would be dead weight).
+fn parse_jsonl(text: &str) -> BTreeMap<String, Vec<f64>> {
+    let mut out: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(name) = extract_string(line, "bench") else {
+            continue;
+        };
+        let Some(ns) = extract_number(line, "ns_per_iter") else {
+            continue;
+        };
+        out.entry(name).or_default().push(ns);
+    }
+    out
+}
+
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => value.push(chars.next()?),
+            '"' => return Some(value),
+            _ => value.push(c),
+        }
+    }
+    None
+}
+
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bench data"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+fn medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let raw = parse_jsonl(&text);
+    if raw.is_empty() {
+        return Err(format!("{path}: no benchmark lines found"));
+    }
+    Ok(raw
+        .into_iter()
+        .map(|(name, mut values)| {
+            let m = median(&mut values);
+            (name, m)
+        })
+        .collect())
+}
+
+fn render(map: &BTreeMap<String, f64>) -> String {
+    let mut s = String::from("{\n");
+    let entries: Vec<String> = map
+        .iter()
+        .map(|(name, ns)| format!("  \"{}\": {ns:.1}", name.replace('"', "\\\"")))
+        .collect();
+    s.push_str(&entries.join(",\n"));
+    s.push_str("\n}\n");
+    s
+}
+
+fn write_baseline(current: &str) -> Result<(), String> {
+    let meds = medians(current)?;
+    let path = baseline_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(&path, render(&meds)).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "wrote {} benchmark median(s) to {}",
+        meds.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn compare(current: &str) -> Result<bool, String> {
+    let tolerance = std::env::var("KSAN_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(25.0);
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (run `bench_check write` first)", path.display()))?;
+    // The baseline is `"name": ns` per line — reuse the field extractors.
+    let mut baseline = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((name, ns)) = line.split_once("\": ").and_then(|(k, v)| {
+            let name = k.trim().strip_prefix('"')?.replace("\\\"", "\"");
+            Some((name, v.trim().parse::<f64>().ok()?))
+        }) {
+            baseline.insert(name, ns);
+        }
+    }
+    if baseline.is_empty() {
+        return Err(format!("{}: no baseline entries parsed", path.display()));
+    }
+    let meds = medians(current)?;
+    let mut ok = true;
+    for (name, &ns) in &meds {
+        match baseline.get(name) {
+            None => eprintln!("bench_check: NEW {name}: {ns:.1} ns/iter (no baseline)"),
+            Some(&base) => {
+                let delta = (ns / base - 1.0) * 100.0;
+                let verdict = if delta > tolerance {
+                    ok = false;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "bench_check: {verdict} {name}: {ns:.1} ns/iter vs baseline {base:.1} ({delta:+.1}%)"
+                );
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !meds.contains_key(name) {
+            eprintln!("bench_check: MISSING {name}: in baseline but not in this run");
+        }
+    }
+    if !ok {
+        eprintln!("bench_check: regression beyond {tolerance}% tolerance");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [mode, current] if mode == "write" => write_baseline(current).map(|()| true),
+        [mode, current] if mode == "compare" => compare(current),
+        _ => {
+            eprintln!("usage: bench_check <write|compare> <current.jsonl>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,9 +1,18 @@
 //! Regenerates every paper artifact in one go, writing `results/*.md`.
 //! Equivalent to running `table_kary`, `table8`, `remark10`, `lemma9` and
-//! `entropy_check` back to back (see those binaries for artifact details).
+//! `entropy_check` back to back (see those binaries for artifact details),
+//! plus the sharded-engine report (`results/engine.md`).
+//!
+//! Parallelism: Tables 1–7 fan out over the **whole workload × k grid**
+//! (9·W independent cells) and Table 8 over the workload grid, so the
+//! thread pool (`KSAN_THREADS`, default: all cores) stays saturated
+//! across workloads. The engine section replays each workload through
+//! `KSAN_SHARDS` keyspace shards (default 4) on the engine's own worker
+//! pool (`KSAN_BATCH` tunes dispatch batching).
 
-use kst_bench::{render_kary_table, render_table8, write_report};
-use kst_sim::experiments::{kary_table, table8_row, Scale, WORKLOADS};
+use kst_bench::{render_engine_table, render_kary_table, render_table8, write_report, EngineRow};
+use kst_engine::{EngineConfig, ShardedEngine};
+use kst_sim::experiments::{kary_tables, table8_rows, workload, Scale, WORKLOADS};
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,30 +22,63 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
 
-    // Tables 1–7
+    // Tables 1–7: one grid-parallel run over every workload's k column.
+    let names = ["hpc", "projector", "facebook", "t025", "t05", "t075", "t09"];
+    let start = std::time::Instant::now();
+    let tables = kary_tables(&names, &scale);
+    eprintln!(
+        "[tables 1-7 | {} workloads, grid-parallel] {:.1?}",
+        names.len(),
+        start.elapsed()
+    );
     let mut combined = String::new();
-    for name in ["hpc", "projector", "facebook", "t025", "t05", "t075", "t09"] {
-        let start = std::time::Instant::now();
-        let table = kary_table(name, &scale);
-        let report = render_kary_table(&table);
+    for table in &tables {
+        let report = render_kary_table(table);
         println!("{report}");
         combined.push_str(&report);
         combined.push('\n');
-        let _ = write_report(&format!("table_kary_{name}.md"), &report);
-        eprintln!("[tables 1-7 | {name}] {:.1?}", start.elapsed());
+        let _ = write_report(&format!("table_kary_{}.md", table.workload), &report);
     }
     let _ = write_report("tables_1_7.md", &combined);
 
-    // Table 8
-    let mut rows = Vec::new();
-    for name in WORKLOADS {
-        let start = std::time::Instant::now();
-        rows.push(table8_row(name, &scale));
-        eprintln!("[table 8 | {name}] {:.1?}", start.elapsed());
-    }
+    // Table 8: workload-grid parallel.
+    let start = std::time::Instant::now();
+    let rows = table8_rows(&WORKLOADS, &scale);
+    eprintln!(
+        "[table 8 | {} workloads, grid-parallel] {:.1?}",
+        WORKLOADS.len(),
+        start.elapsed()
+    );
     let report = render_table8(&rows);
     println!("{report}");
     let _ = write_report("table8.md", &report);
+
+    // Sharded engine: every workload through S shards of 4-ary SplayNets.
+    let mut ecfg = EngineConfig::from_env();
+    if std::env::var_os("KSAN_SHARDS").is_none() {
+        ecfg.shards = 4;
+    }
+    // Trace generation parallelizes across workloads; serving then runs
+    // one workload at a time so the engine's own worker pool gets the
+    // machine to itself (its throughput is the reported number).
+    let traces = kst_sim::par::par_map(WORKLOADS.to_vec(), scale.threads, |name| {
+        (name, workload(name, &scale))
+    });
+    let mut engine_rows = Vec::new();
+    for (name, trace) in traces {
+        let mut engine = ShardedEngine::ksplay(4, trace.n(), ecfg.clone());
+        let (report, elapsed) = kst_engine::timed_run(&mut engine, &trace);
+        eprintln!("[engine | {name}] served in {elapsed:.1?}");
+        engine_rows.push(EngineRow {
+            workload: name.to_string(),
+            n: trace.n(),
+            report,
+            elapsed,
+        });
+    }
+    let report = render_engine_table(&ecfg, &engine_rows);
+    println!("{report}");
+    let _ = write_report("engine.md", &report);
 
     eprintln!("run_all finished in {:.1?}", t0.elapsed());
     eprintln!("(remark10, lemma9 and entropy_check are separate binaries)");

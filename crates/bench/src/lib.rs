@@ -16,10 +16,12 @@
 //!
 //! The library part holds shared report plumbing.
 
+use kst_engine::{EngineConfig, EngineReport};
 use kst_sim::experiments::{workload_label, KaryTable, Table8Row};
 use kst_sim::table::{avg, ratio, Table};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Where `results/*.md` files go.
 ///
@@ -152,6 +154,60 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
          3-SplayNet. Other columns: that network's average cost relative to \
          3-SplayNet (x>1 means 3-SplayNet is better, as in the paper's green \
          cells). Static trees pay no rotations.\n",
+    );
+    out
+}
+
+/// One workload served through the sharded engine, for the `run_all`
+/// engine report.
+pub struct EngineRow {
+    /// Workload name (see `kst_sim::experiments::WORKLOADS`).
+    pub workload: String,
+    /// Keyspace size.
+    pub n: usize,
+    /// Engine result.
+    pub report: EngineReport,
+    /// Wall-clock serving time.
+    pub elapsed: Duration,
+}
+
+/// Renders the sharded-engine report: per-workload totals under the
+/// engine's cost model (intra-shard serve costs + gateway half-serves +
+/// 2 router hops per cross-shard request) plus throughput.
+pub fn render_engine_table(cfg: &EngineConfig, rows: &[EngineRow]) -> String {
+    let mut tab = Table::new(&[
+        "Workload",
+        "n",
+        "avg unit cost",
+        "cross-shard",
+        "router hops",
+        "Mreq/s",
+    ]);
+    for r in rows {
+        let total = r.report.total();
+        tab.row(vec![
+            workload_label(&r.workload).to_string(),
+            r.n.to_string(),
+            avg(total.avg_total_unit_cost()),
+            format!("{:.1}%", r.report.cross_fraction() * 100.0),
+            r.report.router_hops.to_string(),
+            format!(
+                "{:.2}",
+                total.requests as f64 / r.elapsed.as_secs_f64() / 1e6
+            ),
+        ]);
+    }
+    let mut out = format!(
+        "## Sharded engine: {} shard(s) × {} thread(s), batch {}\n\n",
+        cfg.shards, cfg.threads, cfg.batch
+    );
+    out.push_str(&tab.to_markdown());
+    out.push_str(
+        "\nEach workload replays through one k-ary SplayNet per contiguous \
+         keyspace shard; cross-shard requests are served to each side's \
+         gateway and charged 2 router hops on top (see the kst-engine crate \
+         docs for the cost model). `avg unit cost` is routing + rotations \
+         per request under that model.\n",
     );
     out
 }

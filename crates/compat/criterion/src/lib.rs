@@ -144,6 +144,7 @@ impl BenchmarkGroup<'_> {
             return;
         };
         let ns = total.as_nanos() as f64 / iters as f64;
+        record_json(&format!("{}/{label}", self.name), ns);
         let mut line = format!(
             "{}/{label}: {:>12.1} ns/iter ({iters} iters)",
             self.name, ns
@@ -160,6 +161,32 @@ impl BenchmarkGroup<'_> {
             None => {}
         }
         println!("{line}");
+    }
+}
+
+/// Appends one `{"bench": .., "ns_per_iter": ..}` JSON line to the file
+/// named by `KSAN_BENCH_JSON` (no-op when unset). The `bench_check`
+/// binary in `kst-bench` consumes these lines to maintain the committed
+/// baseline snapshot under `results/baselines/` and flag regressions.
+fn record_json(name: &str, ns_per_iter: f64) {
+    let Some(path) = std::env::var_os("KSAN_BENCH_JSON") else {
+        return;
+    };
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!("{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.1}}}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("KSAN_BENCH_JSON: cannot append to {path:?}: {e}");
     }
 }
 

@@ -46,6 +46,24 @@ pub mod splay;
 pub mod tree;
 pub mod viz;
 
+// Send-safety audit: the sharded engine (`kst-engine`) moves whole
+// networks into worker threads, so every network type — and the arena
+// tree underneath — must stay `Send`. The arena design (struct-of-arrays
+// `Vec`s, no `Rc`/`RefCell`, no raw pointers, thread-local-free scratch)
+// gives this for free today; these assertions turn any future regression
+// (e.g. an `Rc`-cached path) into a compile error right here instead of a
+// trait-bound error three crates away.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<tree::KstTree>();
+    assert_send::<ksplaynet::KSplayNet>();
+    assert_send::<centroid_net::KPlusOneSplayNet>();
+    assert_send::<shape::ShapeTree>();
+    assert_send::<net::ServeCost>();
+    // Lazy nets are Send whenever their rebuild policy is.
+    assert_send::<lazy::LazyKaryNet<fn(usize, &[u64]) -> shape::ShapeTree>>();
+};
+
 pub use centroid_net::{KPlusOneSplayNet, Membership};
 pub use key::{key_image, NodeIdx, NodeKey, RoutingKey, NIL};
 pub use ksplaynet::KSplayNet;

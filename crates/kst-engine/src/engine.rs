@@ -1,0 +1,551 @@
+//! The sharded serving engine: per-shard networks, per-shard request
+//! queues, batched dispatch, and explicit cross-shard cost accounting.
+//!
+//! # Cost model
+//!
+//! The keyspace `1..=n` is partitioned into `S` contiguous shards; shard
+//! `s` runs one independent [`Network`] over its local keyspace and a
+//! top-level **router** (a star over the shards' gateway nodes) stitches
+//! the shards together. A request `(u, v)` is charged as follows:
+//!
+//! * **intra-shard** (`shard(u) == shard(v)`): exactly the shard net's
+//!   [`Network::serve`] cost on the locally remapped endpoints — the same
+//!   routing + rotations + link-changes a standalone net of that shard
+//!   would report. No router involvement, nothing else charged.
+//! * **cross-shard** (`shard(u) != shard(v)`): traffic flows
+//!   `u → gateway(shard(u)) → router → gateway(shard(v)) → v`. The source
+//!   shard serves `(u, g_u)` and the destination shard serves `(g_v, v)`
+//!   (each skipped when the endpoint *is* the gateway), so both shards
+//!   self-adjust toward their gateways exactly as they would toward any
+//!   hot node; on top of those two local serve costs the router charges a
+//!   flat [`EngineConfig::router_hops`] routing hops (default 2: shard
+//!   egress + ingress — the star's two edges) per cross-shard request.
+//!
+//! Because shards are fully independent and the dispatcher enqueues
+//! operations in trace order, every shard observes the *same* operation
+//! sequence no matter how many worker threads drain the queues — the
+//! threaded run is bit-identical to the sequential one, which the
+//! differential tests assert.
+
+use crate::shard::ShardMap;
+use kst_core::{Network, ServeCost};
+use kst_sim::Metrics;
+use kst_workloads::{KeyRange, NodeKey, Trace};
+use std::sync::mpsc;
+
+/// How many filled batches may queue per worker before the dispatcher
+/// blocks (bounds engine memory regardless of trace length).
+const QUEUE_DEPTH: usize = 4;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of keyspace shards `S` (clamped to `1..=n` at build time).
+    pub shards: usize,
+    /// Worker threads draining the shard queues. `1` (or one shard) runs
+    /// the sequential path — no threads, no channels, same totals.
+    pub threads: usize,
+    /// Dispatch batch size `B`: cross-thread handoff is amortized over
+    /// `B` requests per channel send.
+    pub batch: usize,
+    /// Routing hops charged by the top-level router per cross-shard
+    /// request (star topology: 2 = shard egress + ingress).
+    pub router_hops: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            shards: 1,
+            threads: kst_sim::par::default_threads(),
+            batch: 1024,
+            router_hops: 2,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Reads overrides from the environment: `KSAN_SHARDS`,
+    /// `KSAN_THREADS`, `KSAN_BATCH`.
+    pub fn from_env() -> EngineConfig {
+        let mut cfg = EngineConfig::default();
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = get("KSAN_SHARDS") {
+            cfg.shards = v.max(1);
+        }
+        if let Some(v) = get("KSAN_THREADS") {
+            cfg.threads = v.max(1);
+        }
+        if let Some(v) = get("KSAN_BATCH") {
+            cfg.batch = v.max(1);
+        }
+        cfg
+    }
+
+    /// Builder-style shard count override.
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style thread count override.
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style batch size override.
+    pub fn with_batch(mut self, batch: usize) -> EngineConfig {
+        self.batch = batch;
+        self
+    }
+}
+
+/// Mergeable result of an engine run. Per-shard partials are kept apart
+/// from cross-shard traffic so the intra-shard totals can be compared
+/// move-for-move against standalone per-shard networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Intra-shard traffic metrics, one entry per shard. For a trace
+    /// whose requests are all intra-shard this is *exactly* what a
+    /// standalone net over that shard's keyspace would report for the
+    /// shard's sub-sequence, move for move (the differential tests
+    /// assert it); with cross-shard traffic present the gateway
+    /// half-serves interleave with the shard's stream, so the partials
+    /// remain exact per-shard accounts but no longer match an
+    /// interference-free standalone run.
+    pub per_shard: Vec<Metrics>,
+    /// Cross-shard requests: `requests` counts whole cross-shard requests
+    /// (not halves); costs are the two gateway half-serves plus the
+    /// router hops folded into `routing`.
+    pub cross: Metrics,
+    /// Total router hops charged (already included in `cross.routing`,
+    /// broken out so reports can separate "real" routing from the
+    /// router-model surcharge).
+    pub router_hops: u64,
+}
+
+impl EngineReport {
+    /// An all-zero report for `shards` shards (the merge identity).
+    pub fn new(shards: usize) -> EngineReport {
+        EngineReport {
+            per_shard: vec![Metrics::default(); shards],
+            cross: Metrics::default(),
+            router_hops: 0,
+        }
+    }
+
+    /// Grand total across shards and the router — field-wise sum, so
+    /// merging per-shard partials reduces to exactly the totals the
+    /// standalone nets would report for intra-shard traffic.
+    pub fn total(&self) -> Metrics {
+        let mut m = Metrics::default();
+        for s in &self.per_shard {
+            m.merge(s);
+        }
+        m.merge(&self.cross);
+        m
+    }
+
+    /// Fraction of requests that crossed shards.
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.total().requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross.requests as f64 / total as f64
+        }
+    }
+
+    /// Associative, commutative merge of two reports over the same shard
+    /// layout (windowed / chunked runs reduce with this).
+    pub fn merge(&mut self, other: &EngineReport) {
+        assert_eq!(
+            self.per_shard.len(),
+            other.per_shard.len(),
+            "cannot merge reports with different shard counts"
+        );
+        for (a, b) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            a.merge(b);
+        }
+        self.cross.merge(&other.cross);
+        self.router_hops += other.router_hops;
+    }
+}
+
+/// One queued shard operation. `half` distinguishes the gateway
+/// half-serves of cross-shard requests (cost booked to the router's
+/// cross-shard account) from whole intra-shard requests.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    shard: u32,
+    a: NodeKey,
+    b: NodeKey,
+    half: bool,
+}
+
+fn add_cost(acc: &mut ServeCost, c: ServeCost) {
+    acc.routing += c.routing;
+    acc.rotations += c.rotations;
+    acc.links_changed += c.links_changed;
+}
+
+/// A sharded serving engine: `S` independent shard networks plus the
+/// top-level router, replaying traces either sequentially or on a worker
+/// pool with batched per-shard queues.
+pub struct ShardedEngine<N> {
+    map: ShardMap,
+    nets: Vec<N>,
+    cfg: EngineConfig,
+}
+
+impl<N: Network> ShardedEngine<N> {
+    /// Builds the engine over keyspace `1..=n`: the factory is called once
+    /// per shard (in shard order, so sizing transients never coexist) and
+    /// must return a network over exactly the shard's local keyspace.
+    pub fn new(
+        n: usize,
+        cfg: EngineConfig,
+        mut factory: impl FnMut(usize, KeyRange) -> N,
+    ) -> ShardedEngine<N> {
+        let map = ShardMap::contiguous(n, cfg.shards);
+        let nets: Vec<N> = (0..map.shards())
+            .map(|s| {
+                let range = map.range(s);
+                let net = factory(s, range);
+                assert_eq!(
+                    net.len(),
+                    range.len(),
+                    "shard {s}: factory built a {}-node net for a {}-key range",
+                    net.len(),
+                    range.len()
+                );
+                net
+            })
+            .collect();
+        ShardedEngine { map, nets, cfg }
+    }
+
+    /// The keyspace partition in use.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The engine configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the shard networks (tests, reporting).
+    pub fn nets(&self) -> &[N] {
+        &self.nets
+    }
+
+    /// Serves one request on the calling thread, folding its cost into
+    /// `report` and returning the request's combined [`ServeCost`]
+    /// (cross-shard: both gateway half-serves plus router hops). This is
+    /// the engine's single source of truth for the cost model — the
+    /// threaded path produces identical per-shard sequences.
+    pub fn serve_one(&mut self, u: NodeKey, v: NodeKey, report: &mut EngineReport) -> ServeCost {
+        let su = self.map.shard_of(u);
+        let sv = self.map.shard_of(v);
+        if su == sv {
+            let r = self.map.range(su);
+            let c = self.nets[su].serve(r.to_local(u), r.to_local(v));
+            report.per_shard[su].absorb(c);
+            return c;
+        }
+        let mut c = ServeCost {
+            routing: self.cfg.router_hops,
+            ..ServeCost::default()
+        };
+        let gu = self.map.gateway(su);
+        if u != gu {
+            let r = self.map.range(su);
+            add_cost(&mut c, self.nets[su].serve(r.to_local(u), r.to_local(gu)));
+        }
+        let gv = self.map.gateway(sv);
+        if v != gv {
+            let r = self.map.range(sv);
+            add_cost(&mut c, self.nets[sv].serve(r.to_local(gv), r.to_local(v)));
+        }
+        report.cross.absorb(c);
+        report.router_hops += self.cfg.router_hops;
+        c
+    }
+
+    /// Replays the whole trace on the calling thread.
+    pub fn run_trace_seq(&mut self, trace: &Trace) -> EngineReport {
+        assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
+        let mut report = EngineReport::new(self.map.shards());
+        for &(u, v) in trace.requests() {
+            self.serve_one(u, v, &mut report);
+        }
+        report
+    }
+}
+
+impl<N: Network + Send> ShardedEngine<N> {
+    /// Replays the trace on a pool of `min(threads, shards)` workers with
+    /// per-worker request queues and batched dispatch, falling back to the
+    /// sequential path when one worker (or one shard) would run anyway.
+    /// Totals are bit-identical to [`ShardedEngine::run_trace_seq`].
+    pub fn run_trace(&mut self, trace: &Trace) -> EngineReport {
+        let workers = self.cfg.threads.min(self.map.shards()).max(1);
+        if workers <= 1 {
+            return self.run_trace_seq(trace);
+        }
+        self.run_trace_threaded(trace, workers)
+    }
+
+    fn run_trace_threaded(&mut self, trace: &Trace, workers: usize) -> EngineReport {
+        assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
+        let shards = self.map.shards();
+        let batch = self.cfg.batch.max(1);
+        let router_hops = self.cfg.router_hops;
+        let map = &self.map;
+
+        // Move each shard's net into its worker's slot (shard s → worker
+        // s % workers, ascending, so a worker finds shard s at local
+        // index s / workers).
+        let mut parked: Vec<Option<N>> = std::mem::take(&mut self.nets)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut worker_nets: Vec<Vec<N>> = (0..workers).map(|_| Vec::new()).collect();
+        for (s, slot) in parked.iter_mut().enumerate() {
+            worker_nets[s % workers].push(slot.take().expect("net moved twice"));
+        }
+
+        let mut report = EngineReport::new(shards);
+        let mut cross_requests = 0u64;
+        let mut cross_half = ServeCost::default();
+
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for nets in worker_nets {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Op>>(QUEUE_DEPTH);
+                senders.push(tx);
+                handles.push(scope.spawn(move || worker_loop(nets, rx, workers)));
+            }
+
+            // Dispatch: walk the trace in order, append to per-worker
+            // batches, send a batch whenever it fills. FIFO channels + a
+            // single dispatcher preserve each shard's operation order.
+            let mut buffers: Vec<Vec<Op>> =
+                (0..workers).map(|_| Vec::with_capacity(batch)).collect();
+            let push = |buffers: &mut Vec<Vec<Op>>, op: Op| {
+                let w = op.shard as usize % workers;
+                buffers[w].push(op);
+                if buffers[w].len() == batch {
+                    let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(batch));
+                    senders[w].send(full).expect("engine worker hung up");
+                }
+            };
+            for &(u, v) in trace.requests() {
+                let su = map.shard_of(u);
+                let sv = map.shard_of(v);
+                if su == sv {
+                    let r = map.range(su);
+                    push(
+                        &mut buffers,
+                        Op {
+                            shard: su as u32,
+                            a: r.to_local(u),
+                            b: r.to_local(v),
+                            half: false,
+                        },
+                    );
+                } else {
+                    cross_requests += 1;
+                    let gu = map.gateway(su);
+                    if u != gu {
+                        let r = map.range(su);
+                        push(
+                            &mut buffers,
+                            Op {
+                                shard: su as u32,
+                                a: r.to_local(u),
+                                b: r.to_local(gu),
+                                half: true,
+                            },
+                        );
+                    }
+                    let gv = map.gateway(sv);
+                    if v != gv {
+                        let r = map.range(sv);
+                        push(
+                            &mut buffers,
+                            Op {
+                                shard: sv as u32,
+                                a: r.to_local(gv),
+                                b: r.to_local(v),
+                                half: true,
+                            },
+                        );
+                    }
+                }
+            }
+            for (w, buf) in buffers.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    senders[w].send(buf).expect("engine worker hung up");
+                }
+            }
+            drop(senders); // close the queues: workers drain and return
+
+            for (w, handle) in handles.into_iter().enumerate() {
+                let results = handle.join().expect("engine worker panicked");
+                for (i, (net, intra, half)) in results.into_iter().enumerate() {
+                    let s = i * workers + w; // inverse of the s % workers layout
+                    parked[s] = Some(net);
+                    report.per_shard[s] = intra;
+                    add_cost(&mut cross_half, half);
+                }
+            }
+        });
+
+        self.nets = parked
+            .into_iter()
+            .map(|slot| slot.expect("worker failed to return a shard net"))
+            .collect();
+
+        // Assemble the cross-shard account: half-serve sums from the
+        // workers, whole-request count and router hops from the
+        // dispatcher. Field-wise associativity makes this equal to the
+        // sequential path's per-request absorbs.
+        report.cross = Metrics {
+            requests: cross_requests,
+            routing: cross_half.routing + cross_requests * router_hops,
+            rotations: cross_half.rotations,
+            links_changed: cross_half.links_changed,
+        };
+        report.router_hops = cross_requests * router_hops;
+        report
+    }
+}
+
+/// Drains one worker's queue: serves every op on the owned shard nets,
+/// accumulating intra-shard metrics per shard and a single cross-shard
+/// half-serve sum, then returns the nets (in local order) with their
+/// tallies.
+fn worker_loop<N: Network>(
+    mut nets: Vec<N>,
+    rx: mpsc::Receiver<Vec<Op>>,
+    workers: usize,
+) -> Vec<(N, Metrics, ServeCost)> {
+    let mut intra = vec![Metrics::default(); nets.len()];
+    let mut half = vec![ServeCost::default(); nets.len()];
+    while let Ok(ops) = rx.recv() {
+        for op in ops {
+            let i = op.shard as usize / workers;
+            let c = nets[i].serve(op.a, op.b);
+            if op.half {
+                add_cost(&mut half[i], c);
+            } else {
+                intra[i].absorb(c);
+            }
+        }
+    }
+    nets.into_iter()
+        .zip(intra)
+        .zip(half)
+        .map(|((n, m), h)| (n, m, h))
+        .collect()
+}
+
+impl ShardedEngine<kst_core::KSplayNet> {
+    /// Convenience constructor: one balanced k-ary SplayNet per shard.
+    pub fn ksplay(k: usize, n: usize, cfg: EngineConfig) -> ShardedEngine<kst_core::KSplayNet> {
+        ShardedEngine::new(n, cfg, |_, range| {
+            kst_core::KSplayNet::balanced(k, range.len())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kst_core::KSplayNet;
+    use kst_workloads::gens;
+
+    #[test]
+    fn threaded_and_sequential_runs_are_bit_identical() {
+        let trace = gens::uniform(240, 6000, 11);
+        let cfg = EngineConfig::default()
+            .with_shards(5)
+            .with_threads(3)
+            .with_batch(64);
+        let mut seq = ShardedEngine::ksplay(3, 240, cfg.clone().with_threads(1));
+        let mut par = ShardedEngine::ksplay(3, 240, cfg);
+        let a = seq.run_trace(&trace);
+        let b = par.run_trace(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a.total().requests, 6000);
+        assert!(a.cross.requests > 0, "uniform traffic must cross shards");
+    }
+
+    #[test]
+    fn one_shard_engine_has_no_cross_traffic() {
+        let trace = gens::temporal(100, 2000, 0.5, 5);
+        let mut eng = ShardedEngine::ksplay(2, 100, EngineConfig::default());
+        let rep = eng.run_trace(&trace);
+        assert_eq!(rep.cross, Metrics::default());
+        assert_eq!(rep.router_hops, 0);
+        assert_eq!(rep.per_shard[0].requests, 2000);
+    }
+
+    #[test]
+    fn cross_shard_request_charges_router_and_gateway_serves() {
+        // 2 shards over 1..=10: [1..=5] gateway 3, [6..=10] gateway 8.
+        let cfg = EngineConfig::default().with_shards(2).with_threads(1);
+        let mut eng = ShardedEngine::ksplay(2, 10, cfg);
+        let mut rep = EngineReport::new(2);
+
+        // Reference nets mirroring the two shards.
+        let mut lo = KSplayNet::balanced(2, 5);
+        let mut hi = KSplayNet::balanced(2, 5);
+
+        let c = eng.serve_one(1, 9, &mut rep);
+        let want = lo.serve(1, 3).total_unit() + hi.serve(3, 4).total_unit() + 2;
+        assert_eq!(c.total_unit(), want);
+        assert_eq!(rep.cross.requests, 1);
+        assert_eq!(rep.router_hops, 2);
+        assert_eq!(rep.per_shard[0], Metrics::default());
+
+        // An endpoint that *is* the gateway skips its half-serve.
+        let c2 = eng.serve_one(3, 8, &mut rep);
+        assert_eq!(c2.total_unit(), 2, "gateway-to-gateway is router-only");
+        assert_eq!(rep.cross.requests, 2);
+    }
+
+    #[test]
+    fn report_merge_is_associative_with_chunked_runs() {
+        let trace = gens::temporal(120, 4000, 0.7, 9);
+        let cfg = EngineConfig::default().with_shards(3).with_threads(1);
+        let mut whole = ShardedEngine::ksplay(2, 120, cfg.clone());
+        let full = whole.run_trace(&trace);
+
+        let mut chunked = ShardedEngine::ksplay(2, 120, cfg);
+        let reqs = trace.requests();
+        let mut acc = EngineReport::new(3);
+        for chunk in reqs.chunks(500) {
+            let sub = Trace::new(120, chunk.to_vec());
+            let part = chunked.run_trace(&sub);
+            acc.merge(&part);
+        }
+        assert_eq!(acc, full);
+    }
+
+    #[test]
+    fn factory_size_mismatch_panics() {
+        let r = std::panic::catch_unwind(|| {
+            ShardedEngine::new(
+                10,
+                EngineConfig::default().with_shards(2),
+                |_, _| KSplayNet::balanced(2, 7), // wrong size
+            )
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # kst-engine — sharded, multi-threaded trace-serving engine
+//!
+//! The layer between the self-adjusting trees of `kst-core` and the
+//! experiment harness of `kst-sim` that takes the networks from
+//! one-tree-one-core to datacenter scale: the keyspace is partitioned into
+//! `S` contiguous shards, each shard runs one independent
+//! [`kst_core::Network`] (k-ary SplayNet, k-semi-splay, centroid, lazy —
+//! anything implementing the trait), and traces replay through a pool of
+//! worker threads with per-shard request queues and batched dispatch.
+//! Cross-shard requests route via a top-level star router with an explicit,
+//! documented cost model (see [`engine`]).
+//!
+//! Guarantees, enforced by the workspace's differential tests:
+//!
+//! * a **1-shard** engine is bit-identical to [`kst_sim::run`] on the same
+//!   network — move-for-move, not just in aggregate;
+//! * for any `S`, the per-shard partials [`Metrics::merge`] to exactly the
+//!   totals standalone nets over each shard's keyspace would report for
+//!   the intra-shard traffic;
+//! * the threaded run is bit-identical to the sequential run — the single
+//!   dispatcher fixes each shard's operation order, and shards never share
+//!   state.
+//!
+//! ```
+//! use kst_engine::{EngineConfig, ShardedEngine};
+//! use kst_workloads::gens;
+//!
+//! let trace = gens::sharded_hot_pairs(1_000, 10_000, 4, 16, 7);
+//! let cfg = EngineConfig::default().with_shards(4).with_threads(4);
+//! let mut engine = ShardedEngine::ksplay(2, 1_000, cfg);
+//! let report = engine.run_trace(&trace);
+//! assert_eq!(report.total().requests, 10_000);
+//! assert_eq!(report.cross.requests, 0); // that workload stays intra-shard
+//! ```
+//!
+//! [`Metrics::merge`]: kst_sim::Metrics::merge
+
+pub mod engine;
+pub mod shard;
+
+pub use engine::{EngineConfig, EngineReport, ShardedEngine};
+pub use shard::ShardMap;
+
+use kst_core::Network;
+use kst_workloads::Trace;
+
+/// Runs a trace through the engine and returns the report together with
+/// wall-clock elapsed time (the harness' throughput probe).
+pub fn timed_run<N: Network + Send>(
+    engine: &mut ShardedEngine<N>,
+    trace: &Trace,
+) -> (EngineReport, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let report = engine.run_trace(trace);
+    (report, start.elapsed())
+}

@@ -1,0 +1,123 @@
+//! Keyspace → shard mapping.
+//!
+//! The engine partitions the global keyspace `1..=n` into `S` contiguous
+//! ranges whose sizes differ by at most one (the canonical partition of
+//! [`kst_workloads::partition_keyspace`]). Because the partition is
+//! equal-width up to one key, `shard_of` is a constant-time computation —
+//! no binary search on the hot dispatch path.
+
+use kst_workloads::{partition_keyspace, KeyRange, NodeKey};
+
+/// The engine's keyspace partition: `S` contiguous shards over `1..=n`,
+/// with O(1) key → shard lookup and per-shard gateway keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    n: usize,
+    ranges: Vec<KeyRange>,
+    /// `floor(n / S)`: size of the small shards.
+    base: usize,
+    /// `n mod S`: the first `big` shards hold `base + 1` keys.
+    big: usize,
+}
+
+impl ShardMap {
+    /// Builds the canonical contiguous partition of `1..=n` into `shards`
+    /// ranges (clamped to `1..=n`).
+    pub fn contiguous(n: usize, shards: usize) -> ShardMap {
+        let ranges = partition_keyspace(n, shards);
+        let shards = ranges.len();
+        ShardMap {
+            n,
+            base: n / shards,
+            big: n % shards,
+            ranges,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Global node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The key range of shard `s`.
+    pub fn range(&self, s: usize) -> KeyRange {
+        self.ranges[s]
+    }
+
+    /// All shard ranges in keyspace order.
+    pub fn ranges(&self) -> &[KeyRange] {
+        &self.ranges
+    }
+
+    /// The shard owning `key` — O(1): the first `big` shards have
+    /// `base + 1` keys, the rest `base`.
+    #[inline]
+    pub fn shard_of(&self, key: NodeKey) -> usize {
+        debug_assert!(key >= 1 && key as usize <= self.n);
+        let idx = key as usize - 1;
+        let split = self.big * (self.base + 1);
+        if idx < split {
+            idx / (self.base + 1)
+        } else {
+            self.big + (idx - split) / self.base
+        }
+    }
+
+    /// Shard `s`'s gateway: the median key of its range. The gateway is
+    /// the shard-local endpoint of every cross-shard traversal (the node
+    /// "wired to the router"); the median is the root of the shard's
+    /// initial balanced tree, so cold gateways start near the top and hot
+    /// gateways stay there by self-adjustment.
+    #[inline]
+    pub fn gateway(&self, s: usize) -> NodeKey {
+        let r = self.ranges[s];
+        r.lo + (r.len() as NodeKey - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_matches_linear_scan() {
+        for n in [1usize, 5, 17, 100, 1023] {
+            for shards in [1usize, 2, 3, 7, 16, 5000] {
+                let map = ShardMap::contiguous(n, shards);
+                for key in 1..=n as NodeKey {
+                    let s = map.shard_of(key);
+                    assert!(
+                        map.range(s).contains(key),
+                        "n={n} shards={shards} key={key}: got shard {s} ({:?})",
+                        map.range(s)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_is_inside_its_shard() {
+        let map = ShardMap::contiguous(103, 7);
+        for s in 0..map.shards() {
+            let g = map.gateway(s);
+            assert!(map.range(s).contains(g));
+            assert_eq!(map.shard_of(g), s);
+        }
+    }
+
+    #[test]
+    fn single_shard_covers_everything() {
+        let map = ShardMap::contiguous(42, 1);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.range(0), KeyRange { lo: 1, hi: 42 });
+        for key in 1..=42 {
+            assert_eq!(map.shard_of(key), 0);
+        }
+    }
+}

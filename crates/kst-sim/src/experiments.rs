@@ -148,35 +148,80 @@ pub struct KaryTable {
     pub cells: Vec<KaryCell>,
 }
 
+/// One (trace, k) cell of Tables 1–7.
+fn kary_cell(trace: &Trace, demand: &DemandMatrix, k: usize, scale: &Scale) -> KaryCell {
+    let n = trace.n();
+    let mut net = KSplayNet::balanced(k, n);
+    let splaynet = run(&mut net, trace);
+    let full = full_kary(n, k).cost_on_trace(trace);
+    let optimal = if n <= scale.dp_limit {
+        let (t, _) = optimal_routing_based_tree(demand, k);
+        Some(t.cost_on_trace(trace))
+    } else {
+        None
+    };
+    KaryCell {
+        k,
+        splaynet,
+        full_tree: full,
+        optimal,
+    }
+}
+
 /// Runs the Tables 1–7 experiment for a workload.
 pub fn kary_table(name: &str, scale: &Scale) -> KaryTable {
-    let trace = workload(name, scale);
-    let st = stats::stats(&trace);
-    let n = trace.n();
-    let demand = DemandMatrix::from_trace(&trace);
-    let ks: Vec<usize> = (2..=10).collect();
-    let cells = par_map(ks, scale.threads, |k| {
-        let mut net = KSplayNet::balanced(k, n);
-        let splaynet = run(&mut net, &trace);
-        let full = full_kary(n, k).cost_on_trace(&trace);
-        let optimal = if n <= scale.dp_limit {
-            let (t, _) = optimal_routing_based_tree(&demand, k);
-            Some(t.cost_on_trace(&trace))
-        } else {
-            None
-        };
-        KaryCell {
-            k,
-            splaynet,
-            full_tree: full,
-            optimal,
+    kary_tables(&[name], scale)
+        .pop()
+        .expect("one workload in, one table out")
+}
+
+/// Runs Tables 1–7 for several workloads at once, parallelizing over the
+/// **whole workload × k grid** (per-workload sharding of the experiment
+/// sweep): with W workloads the scheduler sees 9·W independent cells
+/// instead of 9, so `run_all` saturates the thread pool across workloads
+/// rather than stalling on each workload's slowest arity. Thread count
+/// comes from [`Scale::threads`] (`KSAN_THREADS`).
+pub fn kary_tables(names: &[&str], scale: &Scale) -> Vec<KaryTable> {
+    // Stage 1: instantiate the workloads (trace + stats + demand) in
+    // parallel — generation and the O(n²) demand aggregation are
+    // per-workload independent.
+    struct Prepared {
+        name: String,
+        trace: Trace,
+        stats: TraceStats,
+        demand: DemandMatrix,
+    }
+    let prepared: Vec<Prepared> = par_map(names.to_vec(), scale.threads, |name| {
+        let trace = workload(name, scale);
+        let stats = stats::stats(&trace);
+        let demand = DemandMatrix::from_trace(&trace);
+        Prepared {
+            name: name.to_string(),
+            trace,
+            stats,
+            demand,
         }
     });
-    KaryTable {
-        workload: name.to_string(),
-        stats: st,
-        cells,
-    }
+    // Stage 2: one job per (workload, k) grid cell.
+    let ks: Vec<usize> = (2..=10).collect();
+    let jobs: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|w| ks.iter().map(move |&k| (w, k)))
+        .collect();
+    let prepared_ref = &prepared;
+    let cells = par_map(jobs, scale.threads, |(w, k)| {
+        let p = &prepared_ref[w];
+        kary_cell(&p.trace, &p.demand, k, scale)
+    });
+    // Regroup: cells arrive in job order, |ks| per workload.
+    prepared
+        .iter()
+        .zip(cells.chunks(ks.len()))
+        .map(|(p, cells)| KaryTable {
+            workload: p.name.clone(),
+            stats: p.stats.clone(),
+            cells: cells.to_vec(),
+        })
+        .collect()
 }
 
 /// One row of Table 8: 3-SplayNet vs SplayNet vs static binary trees.
@@ -266,6 +311,19 @@ pub fn table8_row(name: &str, scale: &Scale) -> Table8Row {
     }
 }
 
+/// Runs Table 8 for several workloads at once, parallelizing over the
+/// workload grid (each row's four inner jobs then run on the row's
+/// thread, so the pool is never oversubscribed).
+pub fn table8_rows(names: &[&str], scale: &Scale) -> Vec<Table8Row> {
+    let inner = Scale {
+        threads: 1,
+        ..scale.clone()
+    };
+    par_map(names.to_vec(), scale.threads, |name| {
+        table8_row(name, &inner)
+    })
+}
+
 /// Builds every static structure for one workload and returns
 /// (label, total routing cost) pairs — used by examples.
 pub fn static_lineup(trace: &Trace, k: usize, dp_limit: usize) -> Vec<(String, u64)> {
@@ -336,6 +394,46 @@ mod tests {
         let c2 = table.cells[0].splaynet.routing;
         let c10 = table.cells[8].splaynet.routing;
         assert!(c10 < c2, "k=10 ({c10}) should beat k=2 ({c2})");
+    }
+
+    #[test]
+    fn kary_tables_grid_matches_single_table_runs() {
+        // The grid-parallel path must produce exactly what per-workload
+        // runs produce: same workload instantiation, same cells.
+        let mut scale = Scale::tiny(1500);
+        scale.dp_limit = 0;
+        let grid = kary_tables(&["t05", "uniform"], &scale);
+        assert_eq!(grid.len(), 2);
+        for table in &grid {
+            let single = kary_table(&table.workload, &scale);
+            // Entropy stats sum over hash-map iteration order, so float
+            // fields are only reproducible to rounding noise; the count
+            // fields must match exactly.
+            assert_eq!(table.stats.n, single.stats.n, "{}", table.workload);
+            assert_eq!(table.stats.m, single.stats.m);
+            assert_eq!(table.stats.distinct_pairs, single.stats.distinct_pairs);
+            assert!((table.stats.pair_entropy - single.stats.pair_entropy).abs() < 1e-9);
+            for (a, b) in table.cells.iter().zip(&single.cells) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.splaynet, b.splaynet, "{} k={}", table.workload, a.k);
+                assert_eq!(a.full_tree, b.full_tree);
+                assert_eq!(a.optimal, b.optimal);
+            }
+        }
+    }
+
+    #[test]
+    fn table8_rows_grid_matches_single_rows() {
+        let scale = Scale::tiny(1200);
+        let rows = table8_rows(&["uniform", "t05"], &scale);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let single = table8_row(&row.workload, &scale);
+            assert_eq!(row.three_splay, single.three_splay, "{}", row.workload);
+            assert_eq!(row.splaynet, single.splaynet);
+            assert_eq!(row.full_binary, single.full_binary);
+            assert_eq!(row.optimal, single.optimal);
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub mod par;
 pub mod runner;
 pub mod table;
 
-pub use experiments::{kary_table, table8_row, workload, Scale, WORKLOADS};
+pub use experiments::{
+    kary_table, kary_tables, table8_row, table8_rows, workload, Scale, WORKLOADS,
+};
 pub use metrics::Metrics;
 pub use runner::{run, run_checked, run_windowed};

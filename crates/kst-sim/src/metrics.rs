@@ -62,7 +62,21 @@ impl Metrics {
         }
     }
 
+    /// The metrics of a single served request (so `Metrics::merge` over
+    /// per-request singletons reproduces a sequential `absorb` fold).
+    pub fn from_cost(c: ServeCost) -> Metrics {
+        let mut m = Metrics::default();
+        m.absorb(c);
+        m
+    }
+
     /// Merges two metric sets (for sharded runs).
+    ///
+    /// Field-wise `u64` addition, so the operation is **associative and
+    /// commutative with `Metrics::default()` as identity** — per-shard
+    /// partials reduce in any grouping to exactly the totals a single
+    /// unsharded run over the same requests would report. The workspace
+    /// property tests (`tests/metrics_prop.rs`) pin this down.
     pub fn merge(&mut self, other: &Metrics) {
         self.requests += other.requests;
         self.routing += other.routing;

@@ -258,6 +258,41 @@ pub fn facebook(n: usize, m: usize, seed: u64) -> Trace {
     Trace::new(n, reqs)
 }
 
+/// Shard-friendly hot-pair workload for engine scale tests and benches:
+/// the keyspace is split into `shards` contiguous ranges (exactly as the
+/// sharded engine partitions it), each range gets one far-apart hot pair
+/// `(lo, hi)`, and requests round-robin across the shards' hot pairs with
+/// every `cold_every`-th per-shard request replaced by a random cold peer
+/// *inside the same range* (`cold_every = 0` disables cold requests).
+///
+/// All traffic is intra-shard by construction — the embarrassingly
+/// parallel regime whose aggregate cost is provably the sum of the
+/// per-shard costs; cross-shard routing is exercised separately by the
+/// engine's differential tests.
+pub fn sharded_hot_pairs(n: usize, m: usize, shards: usize, cold_every: usize, seed: u64) -> Trace {
+    let ranges = crate::trace::partition_keyspace(n, shards);
+    assert!(
+        ranges.iter().all(|r| r.len() >= 3),
+        "each shard needs ≥3 keys for a hot pair plus cold peers"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reqs = Vec::with_capacity(m);
+    let mut served = vec![0usize; ranges.len()];
+    for i in 0..m {
+        let s = i % ranges.len();
+        let r = ranges[s];
+        served[s] += 1;
+        if cold_every > 0 && served[s].is_multiple_of(cold_every) {
+            // cold peer strictly inside the range, distinct from lo
+            let w = rng.gen_range(r.lo + 1..=r.hi);
+            reqs.push((r.lo, w));
+        } else {
+            reqs.push((r.lo, r.hi));
+        }
+    }
+    Trace::new(n, reqs)
+}
+
 fn random_pair(rng: &mut StdRng, n: usize) -> (NodeKey, NodeKey) {
     loop {
         let u = rng.gen_range(1..=n as NodeKey);
@@ -414,6 +449,25 @@ mod tests {
             }
         }
         assert!(c0 > 500, "rank 0 drawn {c0} times of 10000");
+    }
+
+    #[test]
+    fn sharded_hot_pairs_stays_intra_shard() {
+        let t = sharded_hot_pairs(1000, 8000, 4, 16, 3);
+        assert_eq!(t.len(), 8000);
+        let ranges = crate::trace::partition_keyspace(1000, 4);
+        let views = t.shard_views(&ranges);
+        // every request is intra-shard, and traffic is evenly spread
+        assert_eq!(views.iter().map(|v| v.count()).sum::<usize>(), 8000);
+        for v in &views {
+            assert_eq!(v.count(), 2000);
+        }
+        // determinism
+        assert_eq!(t, sharded_hot_pairs(1000, 8000, 4, 16, 3));
+        // hot pair dominates: the range endpoints pair appears often
+        let r = ranges[0];
+        let hot = t.requests().iter().filter(|&&p| p == (r.lo, r.hi)).count();
+        assert!(hot > 1800, "hot pair served {hot} of 2000");
     }
 
     #[test]

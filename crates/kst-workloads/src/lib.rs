@@ -16,4 +16,4 @@ pub mod stats;
 pub mod trace;
 
 pub use stats::{entropy_bound_rhs, stats, TraceStats};
-pub use trace::{DemandMatrix, NodeKey, Trace};
+pub use trace::{partition_keyspace, DemandMatrix, KeyRange, NodeKey, ShardView, Trace};

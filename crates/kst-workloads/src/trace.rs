@@ -61,35 +61,120 @@ impl Trace {
 
     /// Parses the format produced by [`Trace::to_csv`].
     pub fn from_csv(text: &str) -> Result<Trace, String> {
-        let mut n = 0usize;
-        let mut reqs = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix('#') {
-                if let Some(v) = rest.trim().strip_prefix("n=") {
-                    n = v
-                        .trim()
-                        .parse()
-                        .map_err(|e| format!("line {}: bad n: {e}", lineno + 1))?;
-                }
-                continue;
-            }
-            let (a, b) = line
-                .split_once(',')
-                .ok_or_else(|| format!("line {}: expected `u,v`", lineno + 1))?;
-            let u: NodeKey = a
-                .trim()
-                .parse()
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            let v: NodeKey = b
-                .trim()
-                .parse()
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            reqs.push((u, v));
+        let mut parser = CsvParser::new();
+        for line in text.lines() {
+            parser.feed(line)?;
         }
+        parser.finish()
+    }
+
+    /// Streams the CSV format produced by [`Trace::to_csv`] from a file,
+    /// line by line through a buffered reader — the file is never slurped
+    /// into one `String`, so multi-gigabyte real-world traces load in
+    /// constant extra memory beyond the request vector itself.
+    #[cfg(feature = "trace-files")]
+    pub fn from_csv_path(path: impl AsRef<std::path::Path>) -> Result<Trace, String> {
+        use std::io::BufRead as _;
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| format!("{}: cannot open: {e}", path.display()))?;
+        let mut parser = CsvParser::new();
+        for line in std::io::BufReader::new(file).lines() {
+            let line = line.map_err(|e| format!("{}: read error: {e}", path.display()))?;
+            parser
+                .feed(&line)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        parser.finish()
+    }
+
+    /// A borrowing view of this trace's intra-shard traffic for one key
+    /// range (no request copying; see [`ShardView`]).
+    pub fn shard_view(&self, range: KeyRange) -> ShardView<'_> {
+        assert!(
+            range.lo >= 1 && range.hi as usize <= self.n && range.lo <= range.hi,
+            "shard range {range:?} outside keyspace 1..={}",
+            self.n
+        );
+        ShardView {
+            range,
+            reqs: &self.reqs,
+        }
+    }
+
+    /// One [`ShardView`] per range (typically from [`partition_keyspace`]).
+    pub fn shard_views(&self, ranges: &[KeyRange]) -> Vec<ShardView<'_>> {
+        ranges.iter().map(|&r| self.shard_view(r)).collect()
+    }
+}
+
+/// Incremental parser for the `# n=<n>` + `u,v` CSV trace format, shared
+/// by the in-memory [`Trace::from_csv`] and the streaming file loader so
+/// both accept and reject exactly the same inputs.
+#[derive(Debug, Default)]
+struct CsvParser {
+    n: usize,
+    lineno: usize,
+    reqs: Vec<(NodeKey, NodeKey)>,
+}
+
+impl CsvParser {
+    fn new() -> CsvParser {
+        CsvParser::default()
+    }
+
+    /// Consumes one line (header, comment, blank, or `u,v` record).
+    fn feed(&mut self, line: &str) -> Result<(), String> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(v) = rest.trim().strip_prefix("n=") {
+                self.n = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {lineno}: bad n: {e}"))?;
+            }
+            return Ok(());
+        }
+        let (a, b) = line
+            .split_once(',')
+            .ok_or_else(|| format!("line {lineno}: expected `u,v`"))?;
+        let u: NodeKey = a
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        let v: NodeKey = b
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        // Validate here, where the line number is still known — a bad
+        // record in a multi-gigabyte file must be locatable. The range
+        // check needs `n`, so it only runs once a header was seen; in
+        // header-less (inferred-n) files, n becomes the maximum observed
+        // endpoint and every record is in range by construction.
+        if u == v {
+            return Err(format!("line {lineno}: self-request ({u},{u})"));
+        }
+        if u < 1 || v < 1 {
+            return Err(format!("line {lineno}: endpoints are 1-based ({u},{v})"));
+        }
+        if self.n > 0 && (u as usize > self.n || v as usize > self.n) {
+            return Err(format!(
+                "line {lineno}: request ({u},{v}) outside keyspace 1..={}",
+                self.n
+            ));
+        }
+        self.reqs.push((u, v));
+        Ok(())
+    }
+
+    /// Builds the trace, inferring `n` when no header was seen.
+    fn finish(self) -> Result<Trace, String> {
+        let CsvParser { mut n, reqs, .. } = self;
         if n == 0 {
             n = reqs
                 .iter()
@@ -97,7 +182,128 @@ impl Trace {
                 .max()
                 .unwrap_or(0);
         }
+        // A `# n=` header may legally appear after records (feed could
+        // not range-check those), so re-validate before handing the data
+        // to the panicking constructor.
+        for &(u, v) in &reqs {
+            if u as usize > n || v as usize > n {
+                return Err(format!("request ({u},{v}) outside keyspace 1..={n}"));
+            }
+        }
+        // All `Trace::new` invariants are now guaranteed: single
+        // construction path, so future invariants added there cannot be
+        // bypassed by CSV-loaded traces.
         Ok(Trace::new(n, reqs))
+    }
+}
+
+/// A contiguous, inclusive slice `[lo, hi]` of the keyspace — the unit of
+/// partitioning for sharded serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Smallest key in the range (≥ 1).
+    pub lo: NodeKey,
+    /// Largest key in the range (inclusive).
+    pub hi: NodeKey,
+}
+
+impl KeyRange {
+    /// Number of keys in the range.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize + 1
+    }
+
+    /// Always false: ranges are constructed non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when `key` falls inside the range.
+    #[inline]
+    pub fn contains(&self, key: NodeKey) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+
+    /// Maps a global key inside the range to the shard-local keyspace
+    /// `1..=len`.
+    #[inline]
+    pub fn to_local(&self, key: NodeKey) -> NodeKey {
+        debug_assert!(self.contains(key));
+        key - self.lo + 1
+    }
+
+    /// Maps a shard-local key back to the global keyspace.
+    #[inline]
+    pub fn to_global(&self, local: NodeKey) -> NodeKey {
+        debug_assert!(local >= 1 && (local as usize) <= self.len());
+        self.lo + local - 1
+    }
+}
+
+/// Splits the keyspace `1..=n` into `shards` contiguous ranges whose sizes
+/// differ by at most one (the first `n % shards` ranges get the extra key).
+/// `shards` is clamped to `1..=n`.
+pub fn partition_keyspace(n: usize, shards: usize) -> Vec<KeyRange> {
+    assert!(n >= 1, "cannot partition an empty keyspace");
+    let shards = shards.clamp(1, n);
+    let base = n / shards;
+    let big = n % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut lo = 1usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < big);
+        ranges.push(KeyRange {
+            lo: lo as NodeKey,
+            hi: (lo + len - 1) as NodeKey,
+        });
+        lo += len;
+    }
+    ranges
+}
+
+/// A zero-copy view of one shard's intra-shard traffic: borrows the
+/// trace's request slice and filters/remaps on the fly, so partitioning a
+/// 10⁶-request trace into S shards allocates nothing per request.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    range: KeyRange,
+    reqs: &'a [(NodeKey, NodeKey)],
+}
+
+impl<'a> ShardView<'a> {
+    /// The key range this view covers.
+    pub fn range(&self) -> KeyRange {
+        self.range
+    }
+
+    /// Shard-local node count (the range length).
+    pub fn n(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Intra-shard requests in trace order, endpoints remapped to the
+    /// shard-local keyspace `1..=n()`.
+    pub fn local_requests(&self) -> impl Iterator<Item = (NodeKey, NodeKey)> + 'a {
+        let range = self.range;
+        self.reqs
+            .iter()
+            .filter(move |&&(u, v)| range.contains(u) && range.contains(v))
+            .map(move |&(u, v)| (range.to_local(u), range.to_local(v)))
+    }
+
+    /// Number of intra-shard requests (one filtering pass, no allocation).
+    pub fn count(&self) -> usize {
+        let range = self.range;
+        self.reqs
+            .iter()
+            .filter(|&&(u, v)| range.contains(u) && range.contains(v))
+            .count()
+    }
+
+    /// Materializes the view as a standalone shard-local [`Trace`] (the
+    /// only copying entry point; tests use it to build reference nets).
+    pub fn to_trace(&self) -> Trace {
+        Trace::new(self.n(), self.local_requests().collect())
     }
 }
 
@@ -269,5 +475,92 @@ mod tests {
     #[should_panic(expected = "diagonal must be zero")]
     fn from_counts_rejects_diagonal() {
         DemandMatrix::from_counts(2, &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn csv_rejects_out_of_range_and_self_requests() {
+        assert!(Trace::from_csv("# n=3\n1,7\n").is_err());
+        assert!(Trace::from_csv("# n=3\n2,2\n").is_err());
+    }
+
+    #[test]
+    fn partition_covers_keyspace_contiguously() {
+        for n in [1usize, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 8, 2000] {
+                let ranges = partition_keyspace(n, shards);
+                assert_eq!(ranges.len(), shards.clamp(1, n));
+                assert_eq!(ranges[0].lo, 1);
+                assert_eq!(*ranges.last().map(|r| &r.hi).unwrap() as usize, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].hi + 1, w[1].lo, "contiguous");
+                    assert!(w[0].len().abs_diff(w[1].len()) <= 1, "balanced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_range_local_global_roundtrip() {
+        let r = KeyRange { lo: 11, hi: 20 };
+        assert_eq!(r.len(), 10);
+        for key in 11..=20u32 {
+            let local = r.to_local(key);
+            assert!((1..=10).contains(&local));
+            assert_eq!(r.to_global(local), key);
+        }
+    }
+
+    #[test]
+    fn shard_views_partition_intra_shard_traffic_without_copying() {
+        let t = Trace::new(10, vec![(1, 5), (6, 10), (2, 9), (3, 4), (7, 6)]);
+        let ranges = partition_keyspace(10, 2);
+        let views = t.shard_views(&ranges);
+        // (2,9) is cross-shard and belongs to neither view.
+        let lo: Vec<_> = views[0].local_requests().collect();
+        let hi: Vec<_> = views[1].local_requests().collect();
+        assert_eq!(lo, vec![(1, 5), (3, 4)]);
+        assert_eq!(hi, vec![(1, 5), (2, 1)]);
+        assert_eq!(views[0].count() + views[1].count(), 4);
+        let sub = views[1].to_trace();
+        assert_eq!(sub.n(), 5);
+        assert_eq!(sub.requests(), &[(1, 5), (2, 1)]);
+    }
+
+    #[cfg(feature = "trace-files")]
+    mod files {
+        use super::*;
+
+        fn tmp_file(name: &str, content: &str) -> std::path::PathBuf {
+            let path = std::env::temp_dir().join(format!("ksan-{name}-{}", std::process::id()));
+            std::fs::write(&path, content).unwrap();
+            path
+        }
+
+        #[test]
+        fn from_csv_path_roundtrips() {
+            let t = Trace::new(6, vec![(1, 6), (2, 5), (6, 3)]);
+            let path = tmp_file("trace-ok.csv", &t.to_csv());
+            let loaded = Trace::from_csv_path(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded, t);
+        }
+
+        #[test]
+        fn from_csv_path_reports_malformed_lines_with_path_and_lineno() {
+            let path = tmp_file("trace-bad.csv", "# n=4\n1,2\nnot-a-pair\n");
+            let err = Trace::from_csv_path(&path).unwrap_err();
+            std::fs::remove_file(&path).ok();
+            assert!(err.contains("line 3"), "error should cite the line: {err}");
+            assert!(
+                err.contains("ksan-trace-bad"),
+                "error should cite the file: {err}"
+            );
+        }
+
+        #[test]
+        fn from_csv_path_missing_file_is_an_error() {
+            let err = Trace::from_csv_path("/nonexistent/ksan-no-such-trace.csv").unwrap_err();
+            assert!(err.contains("cannot open"), "{err}");
+        }
     }
 }

@@ -16,6 +16,9 @@
 //!   generators and locality statistics;
 //! * [`sim`] (`kst-sim`) — the cost-model simulator and experiment
 //!   harness;
+//! * [`engine`] (`kst-engine`) — the sharded, multi-threaded
+//!   trace-serving engine (contiguous keyspace shards, per-shard queues,
+//!   batched dispatch, explicit cross-shard router cost model);
 //! * [`classic`] (`splaynet-classic`) — the original binary SplayNet
 //!   baseline.
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub use kst_core as core;
+pub use kst_engine as engine;
 pub use kst_sim as sim;
 pub use kst_statics as statics;
 pub use kst_workloads as workloads;
@@ -43,9 +47,10 @@ pub mod prelude {
         KPlusOneSplayNet, KSplayNet, KstTree, Network, NodeKey, ServeCost, ShapeTree,
         SplayStrategy, WindowPolicy,
     };
+    pub use kst_engine::{EngineConfig, EngineReport, ShardMap, ShardedEngine};
     pub use kst_sim::{Metrics, Scale};
     pub use kst_statics::{centroid_tree, full_kary, optimal_routing_based_tree, DistTree};
     pub use kst_workloads::gens;
-    pub use kst_workloads::{DemandMatrix, Trace};
+    pub use kst_workloads::{partition_keyspace, DemandMatrix, KeyRange, Trace};
     pub use splaynet_classic::ClassicSplayNet;
 }

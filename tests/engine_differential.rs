@@ -1,0 +1,184 @@
+//! Differential guarantees of the sharded engine (`kst-engine`):
+//!
+//! 1. a **1-shard** engine is bit-identical to `run_network` on *every*
+//!    network type — move-for-move per-request costs, not just totals;
+//! 2. for an intra-shard trace, **S-shard** per-shard partials are
+//!    move-for-move identical to standalone nets over each shard's
+//!    keyspace, and `Metrics::merge` reduces them to exactly the summed
+//!    unsharded totals;
+//! 3. the threaded run is bit-identical to the sequential run;
+//! 4. cross-shard requests are charged per the documented router model.
+
+use ksan::engine::{EngineConfig, EngineReport, ShardedEngine};
+use ksan::prelude::*;
+use ksan::sim::experiments::{centroid_rebuilder, run_network};
+use ksan::statics::StaticNet;
+
+// The engine moves shard nets into worker threads; every network type it
+// may host must be Send (compile-time part of the Send-safety audit —
+// kst-core carries the same assertions for its own types).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ClassicSplayNet>();
+    assert_send::<StaticNet>();
+};
+
+/// Serves `trace` through a fresh 1-shard engine and a fresh reference
+/// net from the same factory, asserting per-request bit-identity, then
+/// checks the engine total against `run_network`.
+fn assert_one_shard_identical<N: Network>(label: &str, mut make: impl FnMut(usize) -> N) {
+    let n = 96;
+    let trace = gens::temporal(n, 3000, 0.6, 17);
+    let cfg = EngineConfig::default().with_shards(1).with_threads(1);
+    let mut engine = ShardedEngine::new(n, cfg, |_, r| make(r.len()));
+    let mut reference = make(n);
+    let mut report = EngineReport::new(1);
+    for (i, &(u, v)) in trace.requests().iter().enumerate() {
+        let want = reference.serve(u, v);
+        let got = engine.serve_one(u, v, &mut report);
+        assert_eq!(got, want, "{label}: request #{i} ({u},{v}) diverged");
+    }
+    assert_eq!(report.cross.requests, 0, "{label}: 1 shard cannot cross");
+    assert_eq!(report.router_hops, 0, "{label}");
+    let totals = run_network(make(n), &trace);
+    assert_eq!(report.total(), totals, "{label}: totals diverged");
+}
+
+#[test]
+fn one_shard_engine_is_bit_identical_on_every_network_type() {
+    for k in [2usize, 3, 5] {
+        assert_one_shard_identical(&format!("KSplayNet k={k}"), |n| KSplayNet::balanced(k, n));
+    }
+    assert_one_shard_identical("KSplayNet semi-splay k=4", |n| {
+        KSplayNet::balanced(4, n).with_strategy(SplayStrategy::SemiOnly)
+    });
+    assert_one_shard_identical("ClassicSplayNet", ClassicSplayNet::balanced);
+    for k in [2usize, 3] {
+        assert_one_shard_identical(&format!("KPlusOneSplayNet k={k}"), |n| {
+            KPlusOneSplayNet::new(k, n)
+        });
+    }
+    assert_one_shard_identical("LazyKaryNet (centroid rebuild)", |n| {
+        ksan::core::LazyKaryNet::new(3, n, 400, centroid_rebuilder(3))
+    });
+    assert_one_shard_identical("StaticNet (full 3-ary)", |n| {
+        StaticNet::new(full_kary(n, 3), "full-3ary")
+    });
+}
+
+#[test]
+fn multi_shard_intra_traffic_matches_standalone_nets_move_for_move() {
+    let n = 400;
+    let shards = 4;
+    let trace = gens::sharded_hot_pairs(n, 12_000, shards, 8, 23);
+    let cfg = EngineConfig::default().with_shards(shards).with_threads(1);
+    let mut engine = ShardedEngine::ksplay(3, n, cfg);
+    let report = engine.run_trace(&trace);
+    assert_eq!(report.cross.requests, 0, "workload must stay intra-shard");
+
+    // Standalone nets over each shard's keyspace, serving the shard's
+    // zero-copy view of the trace.
+    let ranges = partition_keyspace(n, shards);
+    let mut merged = Metrics::default();
+    for (s, view) in trace.shard_views(&ranges).iter().enumerate() {
+        let mut standalone = KSplayNet::balanced(3, view.n());
+        let mut m = Metrics::default();
+        for (u, v) in view.local_requests() {
+            m.absorb(standalone.serve(u, v));
+        }
+        assert_eq!(
+            report.per_shard[s], m,
+            "shard {s}: engine partial != standalone net totals"
+        );
+        merged.merge(&m);
+    }
+    // Associative merge of the partials reduces to the engine's total —
+    // exactly the summed totals the unsharded per-shard nets report.
+    assert_eq!(report.total(), merged);
+    assert_eq!(merged.requests, 12_000);
+}
+
+#[test]
+fn threaded_run_is_bit_identical_to_sequential_across_network_types() {
+    let n = 300;
+    let trace = gens::uniform(n, 9000, 31); // plenty of cross-shard traffic
+    for shards in [2usize, 3, 5] {
+        let base = EngineConfig::default().with_shards(shards).with_batch(97);
+        let mut seq = ShardedEngine::ksplay(2, n, base.clone().with_threads(1));
+        let mut par = ShardedEngine::ksplay(2, n, base.clone().with_threads(4));
+        assert_eq!(
+            seq.run_trace(&trace),
+            par.run_trace(&trace),
+            "shards={shards}"
+        );
+        // Also for the centroid net, which carries extra internal state.
+        let mut seq_c = ShardedEngine::new(n, base.clone().with_threads(1), |_, r| {
+            KPlusOneSplayNet::new(2, r.len())
+        });
+        let mut par_c = ShardedEngine::new(n, base.with_threads(3), |_, r| {
+            KPlusOneSplayNet::new(2, r.len())
+        });
+        assert_eq!(
+            seq_c.run_trace(&trace),
+            par_c.run_trace(&trace),
+            "centroid shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn cross_shard_accounting_follows_the_router_model() {
+    let n = 120;
+    let shards = 3;
+    let trace = gens::uniform(n, 5000, 7);
+    let cfg = EngineConfig::default().with_shards(shards).with_threads(2);
+    let mut engine = ShardedEngine::ksplay(2, n, cfg);
+    let report = engine.run_trace(&trace);
+
+    let total = report.total();
+    assert_eq!(total.requests, 5000);
+    // Every request is counted exactly once: intra partials + whole
+    // cross requests.
+    let intra: u64 = report.per_shard.iter().map(|m| m.requests).sum();
+    assert_eq!(intra + report.cross.requests, 5000);
+    // The router charges exactly router_hops per cross request, folded
+    // into cross.routing on top of the gateway half-serves.
+    assert_eq!(report.router_hops, 2 * report.cross.requests);
+    assert!(report.cross.routing >= report.router_hops);
+    assert!(
+        report.cross_fraction() > 0.3,
+        "uniform traffic over 3 shards"
+    );
+
+    // Expected cross count is a pure function of the partition.
+    let map = engine.map().clone();
+    let expected_cross = trace
+        .requests()
+        .iter()
+        .filter(|&&(u, v)| map.shard_of(u) != map.shard_of(v))
+        .count() as u64;
+    assert_eq!(report.cross.requests, expected_cross);
+}
+
+#[test]
+fn engine_handles_lopsided_thread_and_batch_configs() {
+    let n = 64;
+    let trace = gens::temporal(n, 4000, 0.5, 3);
+    let reference = {
+        let mut e =
+            ShardedEngine::ksplay(2, n, EngineConfig::default().with_shards(8).with_threads(1));
+        e.run_trace(&trace)
+    };
+    for (threads, batch) in [(2usize, 1usize), (16, 1), (3, 7), (8, 100_000)] {
+        let cfg = EngineConfig::default()
+            .with_shards(8)
+            .with_threads(threads)
+            .with_batch(batch);
+        let mut e = ShardedEngine::ksplay(2, n, cfg);
+        assert_eq!(
+            e.run_trace(&trace),
+            reference,
+            "threads={threads} batch={batch}"
+        );
+    }
+}

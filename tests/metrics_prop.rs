@@ -1,0 +1,104 @@
+//! Property tests for the metrics algebra behind sharded serving:
+//! `Metrics::merge` must be a commutative monoid (associative,
+//! commutative, `Metrics::default()` identity), and folding per-request
+//! singletons through `merge` must equal the sequential `absorb` fold —
+//! that algebra is what lets per-shard partials reduce to unsharded
+//! totals in any grouping.
+
+use ksan::prelude::*;
+use proptest::prelude::*;
+
+type Quad = (u64, u64, u64, u64);
+
+fn metrics((requests, routing, rotations, links_changed): Quad) -> Metrics {
+    Metrics {
+        requests,
+        routing,
+        rotations,
+        links_changed,
+    }
+}
+
+fn merged(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut m = *a;
+    m.merge(b);
+    m
+}
+
+/// Field values capped so chains of merges can never overflow u64.
+fn arb_quad() -> impl Strategy<Value = Quad> {
+    let f = 0u64..1 << 40;
+    (f.clone(), f.clone(), f.clone(), f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_quad(), b in arb_quad()) {
+        let (a, b) = (metrics(a), metrics(b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_quad(), b in arb_quad(), c in arb_quad()) {
+        let (a, b, c) = (metrics(a), metrics(b), metrics(c));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn default_is_the_identity(a in arb_quad()) {
+        let a = metrics(a);
+        prop_assert_eq!(merged(&a, &Metrics::default()), a);
+        prop_assert_eq!(merged(&Metrics::default(), &a), a);
+    }
+
+    #[test]
+    fn merging_singletons_equals_sequential_absorb(
+        costs in proptest::collection::vec(
+            (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30), 0..40
+        ),
+    ) {
+        let costs: Vec<ServeCost> = costs
+            .into_iter()
+            .map(|(routing, rotations, links_changed)| ServeCost {
+                routing,
+                rotations,
+                links_changed,
+            })
+            .collect();
+        // Sequential accumulation, as the unsharded runner does it.
+        let mut sequential = Metrics::default();
+        for &c in &costs {
+            sequential.absorb(c);
+        }
+        // Arbitrary re-grouping: left fold, right fold, pairwise tree.
+        let left = costs.iter().fold(Metrics::default(), |acc, &c| {
+            merged(&acc, &Metrics::from_cost(c))
+        });
+        let right = costs.iter().rev().fold(Metrics::default(), |acc, &c| {
+            merged(&Metrics::from_cost(c), &acc)
+        });
+        let mut level: Vec<Metrics> = costs.iter().map(|&c| Metrics::from_cost(c)).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        merged(&pair[0], &pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        let tree = level.first().copied().unwrap_or_default();
+        prop_assert_eq!(left, sequential);
+        prop_assert_eq!(right, sequential);
+        prop_assert_eq!(tree, sequential);
+        prop_assert_eq!(sequential.requests, costs.len() as u64);
+    }
+}
