@@ -7,7 +7,7 @@
 
 use kst_bench::write_report;
 use kst_core::{KSplayNet, LazyKaryNet};
-use kst_sim::experiments::{centroid_rebuilder, optimal_rebuilder};
+use kst_sim::experiments::{centroid_rebuilder, optimal_rebuilder, weight_balanced_rebuilder};
 use kst_sim::run;
 use kst_sim::table::Table;
 use kst_statics::full_kary;
@@ -52,6 +52,19 @@ fn main() {
                 format!("{:.3}", ml.avg_routing()),
                 format!("{:.3}", ml.links_changed as f64 / ml.requests as f64),
                 lazy.rebuilds().to_string(),
+            ]);
+        }
+        // lazy with the scalable weight-balanced rebuilder (the policy
+        // that remains affordable when n rules the O(n³k) DP out)
+        for alpha in [m as u64 / 2, m as u64 * 2] {
+            let mut lazy_wb = LazyKaryNet::new(k, n, alpha, weight_balanced_rebuilder(k));
+            let mw = run(&mut lazy_wb, &trace);
+            tab.row(vec![
+                wname.into(),
+                format!("lazy weight-balanced (α={alpha})"),
+                format!("{:.3}", mw.avg_routing()),
+                format!("{:.3}", mw.links_changed as f64 / mw.requests as f64),
+                lazy_wb.rebuilds().to_string(),
             ]);
         }
         // lazy with the demand-oblivious centroid rebuilder

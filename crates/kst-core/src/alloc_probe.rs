@@ -8,16 +8,34 @@
 //! `realloc` call (growing or shrinking — both mean the hot path touched
 //! the allocator) — frees are irrelevant to the guarantee.
 //!
-//! The probe delegates to the [`System`] allocator and costs one relaxed
-//! atomic increment per event, so installing it does not distort benchmark
-//! numbers meaningfully.
+//! The probe delegates to the [`System`] allocator and costs one
+//! thread-local increment per event, so installing it does not distort
+//! benchmark numbers meaningfully.
+//!
+//! The counter is **per-thread**: only allocations performed by the
+//! thread calling [`count_allocations`] are charged to it. A process-wide
+//! counter was tried first and is subtly racy — the libtest harness's
+//! main thread allocates (progress reporting, channel bookkeeping)
+//! concurrently with the test thread's counted window, failing
+//! zero-allocation assertions nondeterministically even in a
+//! single-`#[test]` binary.
 //!
 //! [`KstTree::reserve_scratch`]: crate::KstTree::reserve_scratch
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-static ALLOCATION_EVENTS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    // `const`-initialized and `Drop`-free, so bumping it inside the
+    // global allocator can never recurse into a lazy TLS initializer or
+    // observe a destroyed slot.
+    static ALLOCATION_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn bump() {
+    let _ = ALLOCATION_EVENTS.try_with(|c| c.set(c.get() + 1));
+}
 
 /// A [`System`]-backed allocator that counts allocation events.
 ///
@@ -30,17 +48,17 @@ pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -49,15 +67,16 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 }
 
-/// Total allocation events recorded so far (0 forever unless
-/// [`CountingAlloc`] is installed as the global allocator).
+/// Allocation events recorded so far **on the calling thread** (0 forever
+/// unless [`CountingAlloc`] is installed as the global allocator).
 pub fn allocation_events() -> u64 {
-    ALLOCATION_EVENTS.load(Ordering::SeqCst)
+    ALLOCATION_EVENTS.with(|c| c.get())
 }
 
 /// Runs `f` and returns its result together with the number of allocation
-/// events it triggered. Only meaningful when [`CountingAlloc`] is the
-/// global allocator and no other thread allocates concurrently.
+/// events it triggered on the calling thread. Only meaningful when
+/// [`CountingAlloc`] is the global allocator; allocations on other
+/// threads (e.g. the test harness's reporting thread) are not charged.
 pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let start = allocation_events();
     let out = f();

@@ -7,29 +7,50 @@
 //! total cost trades routing (higher between rebuilds) against adjustment
 //! (paid in bulk, rarely).
 //!
+//! Demand observed during an epoch is kept in a sparse
+//! [`SparseDemand`] ledger — one entry per **distinct** requested pair, so
+//! memory is output-sensitive (O(distinct pairs)) rather than the O(n²) a
+//! dense matrix would cost (8 TB at the engine's 10⁶-node per-shard
+//! scale). Real traces touch far fewer than n² pairs (the sparse-demand
+//! insight of *Toward Demand-Aware Networking*), which is what makes lazy
+//! nets servable through `kst-engine` at 10⁶–10⁷ nodes.
+//!
 //! The rebuild subroutine is pluggable ([`Rebuild`]); `kst-sim` wires it to
 //! the offline constructions of `kst-statics` (optimal DP / centroid /
 //! balanced), exactly the "efficient computation of static demand-aware
 //! topologies is also relevant in online SAN algorithm design" motivation
-//! of Section 1.
+//! of Section 1. At scale, the built-in [`weight_balanced_rebuilder`]
+//! replaces the O(n³)-ish DP with a weight-balanced split on observed key
+//! frequencies (O(n) materialization + O(touched · log) decisions).
 
 use crate::key::{NodeIdx, NodeKey, NIL};
 use crate::net::{Network, ServeCost};
 use crate::shape::ShapeTree;
 use crate::tree::KstTree;
+use kst_workloads::SparseDemand;
 
 /// A topology-rebuild policy: given the demand observed since the last
 /// rebuild, produce a new shape (keys assigned in order).
 pub trait Rebuild {
-    /// Builds the next epoch's topology for `n` nodes from observed demand
-    /// counts (`demand[(u-1) * n + (v-1)]` = requests u→v this epoch).
-    fn rebuild(&mut self, n: usize, demand: &[u64]) -> ShapeTree;
+    /// Builds the next epoch's topology from the sparse view of the
+    /// demand observed this epoch (`demand.n()` is the node count; use
+    /// [`SparseDemand::pairs_sorted`] / [`SparseDemand::key_weights`] for
+    /// deterministic canonical-order traversals).
+    fn rebuild(&mut self, demand: &SparseDemand) -> ShapeTree;
 }
 
-impl<F: FnMut(usize, &[u64]) -> ShapeTree> Rebuild for F {
-    fn rebuild(&mut self, n: usize, demand: &[u64]) -> ShapeTree {
-        self(n, demand)
+impl<F: FnMut(&SparseDemand) -> ShapeTree> Rebuild for F {
+    fn rebuild(&mut self, demand: &SparseDemand) -> ShapeTree {
+        self(demand)
     }
+}
+
+/// Rebuild policy scaling to millions of nodes: the weight-balanced tree
+/// on the epoch's observed key frequencies
+/// ([`ShapeTree::weight_balanced`]), falling back to the complete balanced
+/// tree wherever (and whenever) no demand was observed.
+pub fn weight_balanced_rebuilder(k: usize) -> impl FnMut(&SparseDemand) -> ShapeTree {
+    move |demand| ShapeTree::weight_balanced(demand.n(), k, &demand.key_weights())
 }
 
 /// Lazy self-adjusting k-ary search tree network with reconfiguration
@@ -41,12 +62,13 @@ pub struct LazyKaryNet<R: Rebuild> {
     rebuilder: R,
     /// routing cost accumulated since the last rebuild
     since_rebuild: u64,
-    /// demand observed since the last rebuild (flat n×n)
-    epoch_demand: Vec<u64>,
+    /// demand observed since the last rebuild (sparse pair → count ledger)
+    epoch_demand: SparseDemand,
     /// total rebuilds performed
     rebuilds: u64,
-    /// persistent buffers for rebuild link accounting (serves between
-    /// rebuilds are allocation-free; rebuilds reuse these across epochs)
+    /// persistent buffers for rebuild link accounting (rebuilds reuse
+    /// these across epochs; serves between rebuilds only touch the tree
+    /// and the ledger)
     edges_before: Vec<(NodeIdx, NodeIdx)>,
     edges_after: Vec<(NodeIdx, NodeIdx)>,
 }
@@ -54,14 +76,21 @@ pub struct LazyKaryNet<R: Rebuild> {
 impl<R: Rebuild> LazyKaryNet<R> {
     /// Starts from the balanced k-ary tree with the given threshold and
     /// rebuild policy.
+    ///
+    /// `alpha` is clamped to **at least 1**: with `alpha = 0` the
+    /// threshold `since_rebuild >= alpha` would hold before any routing
+    /// cost accrues, firing a full rebuild on *every* serve — including
+    /// zero-cost self-requests — turning the lazy net into a rebuild
+    /// storm. The clamp guarantees a rebuild only ever fires once at
+    /// least one unit of routing cost has accumulated.
     pub fn new(k: usize, n: usize, alpha: u64, rebuilder: R) -> LazyKaryNet<R> {
         LazyKaryNet {
             tree: KstTree::balanced(k, n),
             k,
-            alpha,
+            alpha: alpha.max(1),
             rebuilder,
             since_rebuild: 0,
-            epoch_demand: vec![0; n * n],
+            epoch_demand: SparseDemand::new(n),
             rebuilds: 0,
             edges_before: Vec::with_capacity(n.saturating_sub(1)),
             edges_after: Vec::with_capacity(n.saturating_sub(1)),
@@ -71,6 +100,22 @@ impl<R: Rebuild> LazyKaryNet<R> {
     /// Number of epoch rebuilds performed so far.
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// The effective reconfiguration threshold (after the ≥ 1 clamp).
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+
+    /// Routing cost accumulated since the last rebuild.
+    pub fn since_rebuild(&self) -> u64 {
+        self.since_rebuild
+    }
+
+    /// Read access to the current epoch's demand ledger (empty right
+    /// after a rebuild boundary).
+    pub fn epoch_demand(&self) -> &SparseDemand {
+        &self.epoch_demand
     }
 
     /// Read access to the current topology.
@@ -102,22 +147,21 @@ impl<R: Rebuild> Network for LazyKaryNet<R> {
     }
 
     fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
-        let n = self.tree.n();
         let routing = self.tree.distance_keys(u, v);
         self.since_rebuild += routing;
         if u != v {
-            self.epoch_demand[(u as usize - 1) * n + (v as usize - 1)] += 1;
+            self.epoch_demand.record(u, v);
         }
         let mut links_changed = 0;
         if self.since_rebuild >= self.alpha {
-            let shape = self.rebuilder.rebuild(n, &self.epoch_demand);
+            let shape = self.rebuilder.rebuild(&self.epoch_demand);
             let new_tree = KstTree::from_shape(self.k, &shape);
             Self::edge_set_into(&self.tree, &mut self.edges_before);
             Self::edge_set_into(&new_tree, &mut self.edges_after);
             links_changed = sym_diff(&self.edges_before, &self.edges_after);
             self.tree = new_tree;
             self.since_rebuild = 0;
-            self.epoch_demand.iter_mut().for_each(|d| *d = 0);
+            self.epoch_demand.clear();
             self.rebuilds += 1;
         }
         ServeCost {
@@ -132,7 +176,10 @@ impl<R: Rebuild> Network for LazyKaryNet<R> {
     }
 }
 
-fn sym_diff(a: &[(NodeIdx, NodeIdx)], b: &[(NodeIdx, NodeIdx)]) -> u64 {
+/// Size of the symmetric difference of two **sorted, duplicate-free**
+/// edge lists — the number of links that differ between two topologies
+/// (exposed for the link-accounting differential tests).
+pub fn sym_diff(a: &[(NodeIdx, NodeIdx)], b: &[(NodeIdx, NodeIdx)]) -> u64 {
     let (mut i, mut j, mut d) = (0, 0, 0u64);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -159,8 +206,8 @@ mod tests {
     use crate::invariants::validate;
 
     /// Toy rebuilder: balanced tree regardless of demand.
-    fn balanced_rebuilder(k: usize) -> impl FnMut(usize, &[u64]) -> ShapeTree {
-        move |n, _| ShapeTree::balanced_kary(n, k)
+    fn balanced_rebuilder(k: usize) -> impl FnMut(&SparseDemand) -> ShapeTree {
+        move |d: &SparseDemand| ShapeTree::balanced_kary(d.n(), k)
     }
 
     #[test]
@@ -179,14 +226,50 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_resets_epoch() {
+    fn rebuild_resets_epoch_exactly() {
         let mut net = LazyKaryNet::new(2, 32, 10, balanced_rebuilder(2));
+        let mut boundaries = 0;
         for _ in 0..100 {
+            let before = net.rebuilds();
             net.serve(1, 32);
+            if net.rebuilds() > before {
+                // Immediately after a rebuild boundary the epoch state is
+                // exactly empty: the ledger holds no pairs at all (the
+                // triggering request was handed to the rebuilder, then
+                // dropped with the rest of the epoch) and the accumulated
+                // routing cost restarts from zero.
+                boundaries += 1;
+                assert!(net.epoch_demand().is_empty(), "ledger must be empty");
+                assert_eq!(net.epoch_demand().total(), 0);
+                assert_eq!(net.epoch_demand().distinct_pairs(), 0);
+                assert_eq!(net.since_rebuild(), 0, "cost accumulator must reset");
+            } else {
+                // Between boundaries the ledger is tracking this epoch.
+                assert!(net.epoch_demand().total() > 0);
+                assert!(net.since_rebuild() > 0);
+            }
         }
         assert!(net.rebuilds() >= 5);
-        // demand epoch is reset after each rebuild
-        assert!(net.epoch_demand.iter().sum::<u64>() < 100);
+        assert!(boundaries >= 5);
+    }
+
+    #[test]
+    fn alpha_zero_is_clamped_to_one() {
+        // Regression test for the rebuild-storm edge case: with α = 0 the
+        // old `since_rebuild >= alpha` check fired a full rebuild on every
+        // serve, even zero-cost self-requests. The ≥ 1 clamp means a
+        // rebuild needs at least one unit of accumulated routing cost.
+        let mut net = LazyKaryNet::new(2, 16, 0, balanced_rebuilder(2));
+        assert_eq!(net.alpha(), 1);
+        for _ in 0..50 {
+            let c = net.serve(5, 5); // self-request: routing = 0
+            assert_eq!(c.routing, 0);
+            assert_eq!(c.links_changed, 0);
+        }
+        assert_eq!(net.rebuilds(), 0, "zero-cost traffic must never rebuild");
+        // One real request accumulates cost and fires at the clamped α=1.
+        net.serve(1, 16);
+        assert_eq!(net.rebuilds(), 1);
     }
 
     #[test]
@@ -200,25 +283,54 @@ mod tests {
 
     #[test]
     fn demand_aware_rebuilder_sees_epoch_demand() {
-        // A rebuilder that pins the hottest pair adjacent.
-        let rebuilder = |n: usize, demand: &[u64]| -> ShapeTree {
-            // find hottest pair; build a path with those two keys adjacent
-            // (test-quality policy, not production)
-            let mut best = (0usize, 1usize, 0u64);
-            for u in 0..n {
-                for v in 0..n {
-                    if demand[u * n + v] > best.2 {
-                        best = (u, v, demand[u * n + v]);
-                    }
-                }
-            }
-            assert!(best.2 > 0, "rebuilder must observe demand");
-            ShapeTree::balanced_kary(n, 2)
+        // A rebuilder that checks the hottest pair is visible in the
+        // sparse ledger (test-quality policy, not production).
+        let rebuilder = |demand: &SparseDemand| -> ShapeTree {
+            let best = demand
+                .pairs_sorted()
+                .into_iter()
+                .max_by_key(|&(_, _, c)| c)
+                .expect("rebuilder must observe demand");
+            assert_eq!((best.0, best.1), (3, 11));
+            assert!(best.2 > 0);
+            ShapeTree::balanced_kary(demand.n(), 2)
         };
         let mut net = LazyKaryNet::new(2, 16, 20, rebuilder);
         for _ in 0..20 {
             net.serve(3, 11);
         }
         assert!(net.rebuilds() >= 1);
+    }
+
+    #[test]
+    fn ledger_memory_is_output_sensitive() {
+        // The whole point of the sparse redesign: the ledger scales with
+        // the *observed* pairs, not with n².
+        let n = 1 << 17; // 131072 — a dense ledger would already be 137 GB
+        let mut net = LazyKaryNet::new(4, n, u64::MAX, balanced_rebuilder(4));
+        for i in 0..1000u32 {
+            net.serve(1 + i % 50, n as u32 - (i % 40));
+        }
+        assert!(net.epoch_demand().distinct_pairs() <= 50 * 40);
+        assert_eq!(net.epoch_demand().total(), 1000);
+    }
+
+    #[test]
+    fn weight_balanced_rebuilder_pulls_hot_keys_up() {
+        let n = 4096;
+        let mut net = LazyKaryNet::new(2, n, 40_000, weight_balanced_rebuilder(2));
+        let (hu, hv) = (10u32, n as u32 - 10);
+        let balanced_dist = net.distance(hu, hv);
+        for _ in 0..4000 {
+            net.serve(hu, hv);
+        }
+        assert!(net.rebuilds() >= 1, "threshold must have fired");
+        validate(net.tree()).unwrap();
+        assert!(
+            net.distance(hu, hv) < balanced_dist,
+            "hot pair must be closer after a weight-balanced rebuild \
+             ({} vs {balanced_dist})",
+            net.distance(hu, hv)
+        );
     }
 }

@@ -61,13 +61,14 @@ const _: () = {
     assert_send::<shape::ShapeTree>();
     assert_send::<net::ServeCost>();
     // Lazy nets are Send whenever their rebuild policy is.
-    assert_send::<lazy::LazyKaryNet<fn(usize, &[u64]) -> shape::ShapeTree>>();
+    assert_send::<lazy::LazyKaryNet<fn(&kst_workloads::SparseDemand) -> shape::ShapeTree>>();
 };
 
 pub use centroid_net::{KPlusOneSplayNet, Membership};
 pub use key::{key_image, NodeIdx, NodeKey, RoutingKey, NIL};
 pub use ksplaynet::KSplayNet;
-pub use lazy::{LazyKaryNet, Rebuild};
+pub use kst_workloads::SparseDemand;
+pub use lazy::{weight_balanced_rebuilder, LazyKaryNet, Rebuild};
 pub use net::{Network, ServeCost};
 pub use restructure::{RestructureStats, WindowPolicy};
 pub use shape::ShapeTree;

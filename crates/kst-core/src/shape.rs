@@ -59,6 +59,81 @@ impl ShapeTree {
         shape
     }
 
+    /// Builds a **weight-balanced** k-ary search tree shape on keys
+    /// `1..=n` from observed per-key frequencies: every key gets a base
+    /// weight of 1 plus its observed frequency from `hot` (a by-key sorted
+    /// `(key, frequency)` list, keys in `1..=n`, typically
+    /// `SparseDemand::key_weights`), and each node takes the weighted
+    /// median of its key range as its own key, splitting the remainder
+    /// into up to `k` child ranges of roughly equal weight.
+    ///
+    /// Hot keys therefore sit near the root (weighted depth is
+    /// logarithmic in total weight), while regions with **no** observed
+    /// demand degrade to the complete balanced subtree — with an empty
+    /// `hot` the result is exactly [`ShapeTree::balanced_kary`]. Split
+    /// decisions cost O(log) binary searches over the hot prefix sums and
+    /// are only paid on ranges containing hot keys, so a rebuild is
+    /// O(n) shape materialization plus O(touched · log) decision work —
+    /// no O(n³)-ish DP, which is what makes lazy rebuilds viable at
+    /// 10⁶–10⁷ nodes.
+    ///
+    /// Fully deterministic: same `n`, `k`, `hot` → same shape.
+    pub fn weight_balanced(n: usize, k: usize, hot: &[(NodeKey, u64)]) -> ShapeTree {
+        assert!(k >= 2, "arity must be at least 2");
+        debug_assert!(
+            hot.windows(2).all(|w| w[0].0 < w[1].0),
+            "hot keys must be strictly sorted"
+        );
+        debug_assert!(
+            hot.iter().all(|&(key, _)| key >= 1 && key as usize <= n),
+            "hot keys must lie in 1..={n}"
+        );
+        if hot.is_empty() {
+            return ShapeTree::balanced_kary(n, k);
+        }
+        let mut shape = ShapeTree {
+            children: Vec::with_capacity(n),
+            key_gap: Vec::with_capacity(n),
+            root: 0,
+        };
+        if n == 0 {
+            return shape;
+        }
+        let wb = WeightIndex::new(hot);
+
+        // Explicit work stack (DFS preorder): a pathological weight profile
+        // must not be able to overflow the call stack at 10⁶ nodes. Jobs
+        // pop in left-to-right order, so appending each new node to its
+        // parent's child list as it pops preserves child order.
+        const NO_PARENT: u32 = u32::MAX;
+        let mut stack: Vec<(NodeKey, NodeKey, u32)> = vec![(1, n as NodeKey, NO_PARENT)];
+        let mut ranges: Vec<(NodeKey, NodeKey)> = Vec::with_capacity(2 * k);
+        while let Some((a, b, parent)) = stack.pop() {
+            let id = if wb.hot_weight(a, b) == 0 {
+                // Cold range: no observed demand — fall back to the
+                // complete balanced subtree (O(size), no searches).
+                shape.push_balanced_subtree((b - a + 1) as usize, k)
+            } else {
+                let id = shape.push_leaf();
+                let m = wb.weighted_median(a, b);
+                ranges.clear();
+                let cl = wb.split_around(a, b, m, k, &mut ranges);
+                shape.key_gap[id as usize] = cl as u8;
+                for &(ca, cb) in ranges.iter().rev() {
+                    stack.push((ca, cb, id));
+                }
+                id
+            };
+            if parent == NO_PARENT {
+                shape.root = id;
+            } else {
+                shape.children[parent as usize].push(id);
+            }
+        }
+        debug_assert_eq!(shape.len(), n);
+        shape
+    }
+
     /// Subtree sizes (number of shape nodes, including the node itself).
     pub fn subtree_sizes(&self) -> Vec<usize> {
         let n = self.len();
@@ -184,6 +259,121 @@ impl ShapeTree {
     /// Height (max depth) of the shape; 0 for a single node.
     pub fn height(&self) -> u32 {
         self.depths().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Prefix-sum index over the sorted hot-key frequencies backing
+/// [`ShapeTree::weight_balanced`]: every range weight is two binary
+/// searches over the hot keys plus closed-form base weight, so split
+/// decisions never scan the keyspace.
+struct WeightIndex<'a> {
+    hot: &'a [(NodeKey, u64)],
+    /// `pre[i]` = sum of the first `i` hot frequencies.
+    pre: Vec<u64>,
+}
+
+impl<'a> WeightIndex<'a> {
+    fn new(hot: &'a [(NodeKey, u64)]) -> WeightIndex<'a> {
+        let mut pre = Vec::with_capacity(hot.len() + 1);
+        let mut acc = 0u64;
+        pre.push(0);
+        for &(_, w) in hot {
+            acc += w;
+            pre.push(acc);
+        }
+        WeightIndex { hot, pre }
+    }
+
+    /// Sum of hot frequencies for keys in `[a, b]`.
+    fn hot_weight(&self, a: NodeKey, b: NodeKey) -> u64 {
+        let lo = self.hot.partition_point(|&(key, _)| key < a);
+        let hi = self.hot.partition_point(|&(key, _)| key <= b);
+        self.pre[hi] - self.pre[lo]
+    }
+
+    /// Weight of key range `[a, b]`: base 1 per key plus hot frequencies.
+    fn weight(&self, a: NodeKey, b: NodeKey) -> u64 {
+        (b - a + 1) as u64 + self.hot_weight(a, b)
+    }
+
+    /// Smallest `m` in `[a, b]` whose prefix `[a, m]` holds at least half
+    /// the range's weight.
+    fn weighted_median(&self, a: NodeKey, b: NodeKey) -> NodeKey {
+        let total = self.weight(a, b);
+        let (mut lo, mut hi) = (a, b);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if 2 * self.weight(a, mid) >= total {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Splits `[a, b]` into `c ≥ 1` non-empty contiguous parts of roughly
+    /// equal weight (boundaries at the weight quantiles, clamped so every
+    /// part keeps at least one key), appending them to `out`.
+    fn quantiles(&self, a: NodeKey, b: NodeKey, c: usize, out: &mut Vec<(NodeKey, NodeKey)>) {
+        debug_assert!(c >= 1 && (b - a + 1) as usize >= c);
+        let total = self.weight(a, b);
+        let mut start = a;
+        for j in 1..c {
+            // Smallest end with weight([a, end]) ≥ (j/c)·total, kept
+            // within [start, b - (c - j)] so the remaining parts fit.
+            let (mut lo, mut hi) = (start, b - (c - j) as NodeKey);
+            let want = (j as u64 * total).div_ceil(c as u64);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if self.weight(a, mid) >= want {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            out.push((start, lo));
+            start = lo + 1;
+        }
+        out.push((start, b));
+    }
+
+    /// Child ranges around own key `m` inside `[a, b]`: the left remainder
+    /// `[a, m-1]` and right remainder `[m+1, b]` are each quantile-split,
+    /// with the child budget `k` apportioned by weight. Appends the ranges
+    /// in order and returns the number of left-side children (the node's
+    /// `key_gap`).
+    fn split_around(
+        &self,
+        a: NodeKey,
+        b: NodeKey,
+        m: NodeKey,
+        k: usize,
+        out: &mut Vec<(NodeKey, NodeKey)>,
+    ) -> usize {
+        let sl = (m - a) as usize;
+        let sr = (b - m) as usize;
+        if sl == 0 && sr == 0 {
+            return 0;
+        }
+        let wl = if sl > 0 { self.weight(a, m - 1) } else { 0 };
+        let wr = if sr > 0 { self.weight(m + 1, b) } else { 0 };
+        // Ideal share of the child budget for the left side, rounded,
+        // then clamped so each non-empty side keeps at least one child
+        // and no side gets more children than keys.
+        let mut cl = ((k as u64 * wl + (wl + wr) / 2) / (wl + wr).max(1)) as usize;
+        cl = cl.clamp(usize::from(sl > 0), k - usize::from(sr > 0));
+        cl = cl.min(sl);
+        let cr = (k - cl).min(sr);
+        // Hand any unusable right-side budget back to the left.
+        cl = (k - cr).min(sl);
+        if sl > 0 {
+            self.quantiles(a, m - 1, cl, out);
+        }
+        if sr > 0 {
+            self.quantiles(m + 1, b, cr, out);
+        }
+        cl
     }
 }
 
@@ -338,6 +528,88 @@ mod tests {
             "4 children must not validate at k=3"
         );
         assert!(s.validate(4).is_ok());
+    }
+
+    #[test]
+    fn weight_balanced_with_no_demand_is_exactly_balanced() {
+        for k in 2..=6usize {
+            for n in [1usize, 13, 100, 1000] {
+                assert_eq!(
+                    ShapeTree::weight_balanced(n, k, &[]),
+                    ShapeTree::balanced_kary(n, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_balanced_is_valid_and_keys_are_a_permutation() {
+        let hots: Vec<Vec<(NodeKey, u64)>> = vec![
+            vec![(1, 1000)],
+            vec![(50, 7), (51, 9000), (99, 3)],
+            vec![(3, 1), (10, 1), (20, 1), (80, 1)],
+            (1..=100)
+                .map(|key| (key, key as u64 * key as u64))
+                .collect(),
+        ];
+        for k in 2..=6usize {
+            for n in [100usize, 257, 1000] {
+                for hot in &hots {
+                    let s = ShapeTree::weight_balanced(n, k, hot);
+                    assert_eq!(s.len(), n, "n={n} k={k}");
+                    s.validate(k).unwrap();
+                    let mut keys = s.assign_keys(1);
+                    keys.sort_unstable();
+                    assert_eq!(keys, (1..=n as NodeKey).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_balanced_puts_dominant_keys_near_the_root() {
+        let n = 4096;
+        for k in [2usize, 4] {
+            for hot_key in [1 as NodeKey, 2000, 4096] {
+                let s = ShapeTree::weight_balanced(n, k, &[(hot_key, 1_000_000)]);
+                s.validate(k).unwrap();
+                let keys = s.assign_keys(1);
+                let depths = s.depths();
+                let node = keys.iter().position(|&key| key == hot_key).unwrap();
+                assert!(
+                    depths[node] <= 1,
+                    "key {hot_key} with dominant weight sits at depth {} (k={k})",
+                    depths[node]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_balanced_depth_stays_logarithmic_under_skew() {
+        // A hot set plus a cold tail must not degenerate into a path: the
+        // base weight of 1 per key keeps cold regions complete-balanced.
+        let n = 10_000;
+        let hot: Vec<(NodeKey, u64)> = (0..32).map(|i| (1 + i * 311, 1u64 << (i % 20))).collect();
+        for k in [2usize, 3, 8] {
+            let s = ShapeTree::weight_balanced(n, k, &hot);
+            s.validate(k).unwrap();
+            let bound = 4 * ((n as f64).log2() / (k as f64).log2()).ceil() as u32 + 8;
+            assert!(
+                s.height() <= bound,
+                "height {} exceeds {bound} (k={k})",
+                s.height()
+            );
+        }
+    }
+
+    #[test]
+    fn weight_balanced_is_deterministic() {
+        let hot = vec![(5 as NodeKey, 42u64), (900, 17), (901, 17)];
+        let a = ShapeTree::weight_balanced(1000, 3, &hot);
+        let b = ShapeTree::weight_balanced(1000, 3, &hot);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Sparse epoch-demand ledger.
+//!
+//! The lazy meta-algorithm (Feder et al., the paper's Section 1) only ever
+//! observes the pairs a trace actually requests, and real traces touch far
+//! fewer than n² pairs (the sparse-demand insight of *Toward Demand-Aware
+//! Networking*). A dense n×n count array is therefore the wrong ledger: at
+//! the engine's 10⁶-node per-shard scale it would cost 8 TB before the
+//! first request is served. [`SparseDemand`] stores one hash-map entry per
+//! **distinct directed pair**, so memory is O(distinct pairs) and clearing
+//! an epoch is O(distinct pairs) too.
+//!
+//! Iteration order of a hash map is not deterministic, so every exposed
+//! traversal ([`SparseDemand::pairs_sorted`],
+//! [`SparseDemand::key_weights`]) sorts into the canonical row-major
+//! (source, destination) order first — rebuild policies consuming the
+//! ledger are bit-reproducible across runs and platforms.
+
+use crate::trace::NodeKey;
+use std::collections::HashMap;
+
+/// Packs a directed pair into one hash key (row-major order-preserving).
+#[inline]
+fn pack(u: NodeKey, v: NodeKey) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (NodeKey, NodeKey) {
+    ((p >> 32) as NodeKey, p as NodeKey)
+}
+
+/// Sparse directed-demand counts over the keyspace `1..=n`: O(distinct
+/// pairs) memory, O(1) expected record/lookup, canonical-order iteration.
+///
+/// Recording a pair already in the ledger never allocates; a **new**
+/// distinct pair may allocate (amortized hash-map growth), which is the
+/// price of output-sensitive memory.
+#[derive(Debug, Clone, Default)]
+pub struct SparseDemand {
+    n: usize,
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl SparseDemand {
+    /// An empty ledger over keys `1..=n`.
+    pub fn new(n: usize) -> SparseDemand {
+        SparseDemand {
+            n,
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Number of nodes in the keyspace.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total recorded requests (sum of all pair counts).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct directed pairs observed.
+    pub fn distinct_pairs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing has been recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records one `u → v` request (1-based keys, `u != v`).
+    #[inline]
+    pub fn record(&mut self, u: NodeKey, v: NodeKey) {
+        self.record_many(u, v, 1);
+    }
+
+    /// Records `w` requests `u → v` at once.
+    #[inline]
+    pub fn record_many(&mut self, u: NodeKey, v: NodeKey, w: u64) {
+        debug_assert!(u != v, "self-demand ({u},{u})");
+        debug_assert!(
+            u >= 1 && u as usize <= self.n,
+            "key {u} out of 1..={}",
+            self.n
+        );
+        debug_assert!(
+            v >= 1 && v as usize <= self.n,
+            "key {v} out of 1..={}",
+            self.n
+        );
+        if w == 0 {
+            return;
+        }
+        *self.counts.entry(pack(u, v)).or_insert(0) += w;
+        self.total += w;
+    }
+
+    /// Demand from `u` to `v` (0 when the pair was never recorded).
+    pub fn get(&self, u: NodeKey, v: NodeKey) -> u64 {
+        self.counts.get(&pack(u, v)).copied().unwrap_or(0)
+    }
+
+    /// Forgets all recorded demand but keeps the table capacity, so the
+    /// next epoch records its recurring pairs without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// All `(u, v, count)` entries in canonical row-major order — the
+    /// deterministic view rebuild policies consume.
+    pub fn pairs_sorted(&self) -> Vec<(NodeKey, NodeKey, u64)> {
+        let mut pairs: Vec<(NodeKey, NodeKey, u64)> = self
+            .counts
+            .iter()
+            .map(|(&p, &c)| {
+                let (u, v) = unpack(p);
+                (u, v, c)
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        pairs
+    }
+
+    /// Observed per-key frequencies — each recorded `u → v` pair credits
+    /// its count to **both** endpoints — as `(key, weight)` entries sorted
+    /// by key, only for keys that appeared at all (O(distinct pairs)).
+    /// This is the input of the weight-balanced rebuild policy.
+    pub fn key_weights(&self) -> Vec<(NodeKey, u64)> {
+        let mut w: HashMap<NodeKey, u64> = HashMap::with_capacity(self.counts.len());
+        for (&p, &c) in &self.counts {
+            let (u, v) = unpack(p);
+            *w.entry(u).or_insert(0) += c;
+            *w.entry(v).or_insert(0) += c;
+        }
+        let mut out: Vec<(NodeKey, u64)> = w.into_iter().collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let mut d = SparseDemand::new(10);
+        assert!(d.is_empty());
+        d.record(1, 2);
+        d.record(1, 2);
+        d.record(9, 3);
+        assert_eq!(d.get(1, 2), 2);
+        assert_eq!(d.get(2, 1), 0, "demand is directed");
+        assert_eq!(d.get(9, 3), 1);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.distinct_pairs(), 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_keyspace() {
+        let mut d = SparseDemand::new(5);
+        d.record_many(1, 5, 7);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.distinct_pairs(), 0);
+        assert_eq!(d.n(), 5);
+        assert_eq!(d.get(1, 5), 0);
+    }
+
+    #[test]
+    fn pairs_sorted_is_canonical_row_major() {
+        let mut d = SparseDemand::new(100);
+        // insertion order deliberately scrambled
+        for &(u, v) in &[(50u32, 3u32), (2, 90), (2, 4), (50, 1), (7, 7 + 1)] {
+            d.record(u, v);
+        }
+        let pairs = d.pairs_sorted();
+        let keys: Vec<(u32, u32)> = pairs.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(keys, vec![(2, 4), (2, 90), (7, 8), (50, 1), (50, 3)]);
+    }
+
+    #[test]
+    fn key_weights_credit_both_endpoints() {
+        let mut d = SparseDemand::new(10);
+        d.record_many(1, 2, 3);
+        d.record_many(2, 5, 4);
+        let w = d.key_weights();
+        assert_eq!(w, vec![(1, 3), (2, 7), (5, 4)]);
+    }
+
+    #[test]
+    fn record_zero_is_a_noop() {
+        let mut d = SparseDemand::new(4);
+        d.record_many(1, 2, 0);
+        assert!(d.is_empty());
+    }
+}

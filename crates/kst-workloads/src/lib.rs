@@ -5,15 +5,19 @@
 //! Implements the workload side of the paper's evaluation (Section 5):
 //! * [`trace::Trace`] / [`trace::DemandMatrix`] — the request-sequence and
 //!   offline-demand abstractions of the model (Section 2);
+//! * [`demand::SparseDemand`] — the output-sensitive (O(distinct pairs))
+//!   epoch-demand ledger driving the lazy nets' rebuild policies;
 //! * [`gens`] — seeded generators for the uniform and temporal-locality
 //!   synthetic workloads, plus simulated stand-ins for the three real
 //!   datacenter trace datasets (HPC mini-apps, ProjecToR, Facebook);
 //! * [`mod@stats`] — temporal/spatial locality measures used to verify that
 //!   simulated traces land in the regime the paper describes.
 
+pub mod demand;
 pub mod gens;
 pub mod stats;
 pub mod trace;
 
+pub use demand::SparseDemand;
 pub use stats::{entropy_bound_rhs, stats, TraceStats};
 pub use trace::{partition_keyspace, DemandMatrix, KeyRange, NodeKey, ShardView, Trace};

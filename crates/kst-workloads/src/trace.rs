@@ -335,15 +335,37 @@ impl DemandMatrix {
 
     /// Wraps pre-aggregated flat row-major counts (`counts[u*n + v]` =
     /// requests from key `u+1` to key `v+1`); the diagonal must be zero.
+    ///
+    /// This path **copies** the n² buffer; callers that already own the
+    /// counts should hand them over via [`DemandMatrix::from_counts_vec`]
+    /// instead.
     pub fn from_counts(n: usize, counts: &[u64]) -> DemandMatrix {
+        DemandMatrix::from_counts_vec(n, counts.to_vec())
+    }
+
+    /// Owning variant of [`DemandMatrix::from_counts`]: takes the flat
+    /// row-major buffer by value, so wrapping pre-aggregated counts is
+    /// validation-only — no n²-element clone.
+    pub fn from_counts_vec(n: usize, counts: Vec<u64>) -> DemandMatrix {
         assert_eq!(counts.len(), n * n);
         for u in 0..n {
             assert_eq!(counts[u * n + u], 0, "diagonal must be zero");
         }
-        DemandMatrix {
-            n,
-            d: counts.to_vec(),
+        DemandMatrix { n, d: counts }
+    }
+
+    /// Densifies a sparse epoch ledger (the O(n²) allocation is the DP
+    /// consumers' requirement, not a copy of caller-held counts — only the
+    /// ledger's distinct pairs are written).
+    pub fn from_sparse(sparse: &crate::demand::SparseDemand) -> DemandMatrix {
+        let mut m = DemandMatrix::zeros(sparse.n());
+        for (u, v, c) in sparse.pairs_sorted() {
+            // Same invariant every other constructor enforces — record()
+            // only debug-asserts it, so re-check here in release too.
+            assert_ne!(u, v, "diagonal must be zero (self-demand ({u},{u}))");
+            m.d[(u as usize - 1) * m.n + (v as usize - 1)] = c;
         }
+        m
     }
 
     /// The finite uniform workload of Section 3.2 / Appendix A.2: an upper
@@ -475,6 +497,46 @@ mod tests {
     #[should_panic(expected = "diagonal must be zero")]
     fn from_counts_rejects_diagonal() {
         DemandMatrix::from_counts(2, &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_counts_vec_is_equivalent_without_copying() {
+        let flat = vec![0, 2, 5, 0];
+        let borrowed = DemandMatrix::from_counts(2, &flat);
+        let owned = DemandMatrix::from_counts_vec(2, flat);
+        assert_eq!(borrowed, owned);
+        assert_eq!(owned.get(1, 2), 2);
+        assert_eq!(owned.get(2, 1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must be zero")]
+    fn from_counts_vec_rejects_diagonal() {
+        DemandMatrix::from_counts_vec(2, vec![0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn from_sparse_matches_from_trace() {
+        let t = Trace::new(6, vec![(1, 2), (1, 2), (6, 3), (2, 1)]);
+        let mut sparse = crate::demand::SparseDemand::new(6);
+        for &(u, v) in t.requests() {
+            sparse.record(u, v);
+        }
+        assert_eq!(
+            DemandMatrix::from_sparse(&sparse),
+            DemandMatrix::from_trace(&t)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-demand (2,2)")]
+    fn from_sparse_rejects_self_demand() {
+        // In debug builds record_many's debug_assert trips first; in
+        // release the densifier's own diagonal check catches the slipped
+        // self-pair. Both messages name the offending pair.
+        let mut sparse = crate::demand::SparseDemand::new(3);
+        sparse.record_many(2, 2, 1);
+        DemandMatrix::from_sparse(&sparse);
     }
 
     #[test]

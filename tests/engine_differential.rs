@@ -61,6 +61,9 @@ fn one_shard_engine_is_bit_identical_on_every_network_type() {
     assert_one_shard_identical("LazyKaryNet (centroid rebuild)", |n| {
         ksan::core::LazyKaryNet::new(3, n, 400, centroid_rebuilder(3))
     });
+    assert_one_shard_identical("LazyKaryNet (weight-balanced rebuild)", |n| {
+        ksan::core::LazyKaryNet::new(3, n, 400, ksan::core::weight_balanced_rebuilder(3))
+    });
     assert_one_shard_identical("StaticNet (full 3-ary)", |n| {
         StaticNet::new(full_kary(n, 3), "full-3ary")
     });

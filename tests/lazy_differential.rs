@@ -1,0 +1,199 @@
+//! Differential guard for the sparse epoch-demand redesign of
+//! `LazyKaryNet`: the sparse-ledger path must be **move-for-move
+//! identical** to the old dense n×n accounting at small n — same rebuild
+//! timings, same rebuilt shapes (checked through all-pairs distances),
+//! same per-request `ServeCost` including `links_changed` — for
+//! k ∈ {2, 3, 4} across the optimal-DP, weight-balanced and centroid
+//! rebuild policies.
+//!
+//! The oracle below is a faithful copy of the pre-refactor implementation
+//! (dense `vec![0; n*n]` ledger, `DemandMatrix::from_counts` densify per
+//! rebuild) with an independent `BTreeSet`-based link-difference count, so
+//! any divergence in the production path shows up as a per-request
+//! mismatch rather than a drifted total.
+
+use ksan::core::lazy::weight_balanced_rebuilder;
+use ksan::core::KstTree;
+use ksan::prelude::*;
+use ksan::sim::experiments::{centroid_rebuilder, optimal_rebuilder};
+use ksan::statics::{centroid_shape, optimal_routing_based};
+use std::collections::BTreeSet;
+
+/// The pre-refactor lazy net, verbatim: dense flat n×n epoch demand,
+/// rebuilder consuming `(n, &[u64])`, no α clamp (tests use α ≥ 1).
+struct DenseLazyOracle<F: FnMut(usize, &[u64]) -> ShapeTree> {
+    tree: KstTree,
+    k: usize,
+    alpha: u64,
+    rebuilder: F,
+    since_rebuild: u64,
+    epoch_demand: Vec<u64>,
+    rebuilds: u64,
+}
+
+impl<F: FnMut(usize, &[u64]) -> ShapeTree> DenseLazyOracle<F> {
+    fn new(k: usize, n: usize, alpha: u64, rebuilder: F) -> Self {
+        DenseLazyOracle {
+            tree: KstTree::balanced(k, n),
+            k,
+            alpha,
+            rebuilder,
+            since_rebuild: 0,
+            epoch_demand: vec![0; n * n],
+            rebuilds: 0,
+        }
+    }
+
+    fn edge_set(t: &KstTree) -> BTreeSet<(u32, u32)> {
+        let mut edges = BTreeSet::new();
+        for v in t.nodes() {
+            let p = t.parent(v);
+            if p != ksan::core::NIL {
+                edges.insert((v.min(p), v.max(p)));
+            }
+        }
+        edges
+    }
+
+    fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
+        let n = self.tree.n();
+        let routing = self.tree.distance_keys(u, v);
+        self.since_rebuild += routing;
+        if u != v {
+            self.epoch_demand[(u as usize - 1) * n + (v as usize - 1)] += 1;
+        }
+        let mut links_changed = 0;
+        if self.since_rebuild >= self.alpha {
+            let shape = (self.rebuilder)(n, &self.epoch_demand);
+            let new_tree = KstTree::from_shape(self.k, &shape);
+            let before = Self::edge_set(&self.tree);
+            let after = Self::edge_set(&new_tree);
+            links_changed = before.symmetric_difference(&after).count() as u64;
+            self.tree = new_tree;
+            self.since_rebuild = 0;
+            self.epoch_demand.iter_mut().for_each(|d| *d = 0);
+            self.rebuilds += 1;
+        }
+        ServeCost {
+            routing,
+            rotations: 0,
+            links_changed,
+        }
+    }
+}
+
+/// Observed per-key frequencies from a dense matrix — the dense twin of
+/// `SparseDemand::key_weights` (each pair credits both endpoints).
+fn dense_key_weights(n: usize, counts: &[u64]) -> Vec<(NodeKey, u64)> {
+    let mut hot = Vec::new();
+    for key in 0..n {
+        let mut w = 0u64;
+        for other in 0..n {
+            w += counts[key * n + other] + counts[other * n + key];
+        }
+        if w > 0 {
+            hot.push((key as NodeKey + 1, w));
+        }
+    }
+    hot
+}
+
+/// Runs `trace` through the dense oracle and the production sparse net
+/// with equivalent rebuild policies, asserting per-request bit-identity
+/// and identical final topologies.
+fn assert_sparse_matches_dense<FD, RS>(
+    label: &str,
+    k: usize,
+    n: usize,
+    alpha: u64,
+    trace: &Trace,
+    dense_policy: FD,
+    sparse_policy: RS,
+) where
+    FD: FnMut(usize, &[u64]) -> ShapeTree,
+    RS: FnMut(&SparseDemand) -> ShapeTree,
+{
+    let mut oracle = DenseLazyOracle::new(k, n, alpha, dense_policy);
+    let mut net = ksan::core::LazyKaryNet::new(k, n, alpha, sparse_policy);
+    for (i, &(u, v)) in trace.requests().iter().enumerate() {
+        let want = oracle.serve(u, v);
+        let got = net.serve(u, v);
+        assert_eq!(
+            got, want,
+            "{label}: request #{i} ({u},{v}) diverged from the dense oracle"
+        );
+        assert_eq!(
+            net.rebuilds(),
+            oracle.rebuilds,
+            "{label}: rebuild timing diverged at request #{i}"
+        );
+    }
+    assert!(
+        net.rebuilds() >= 3,
+        "{label}: vacuous run — only {} rebuilds",
+        net.rebuilds()
+    );
+    // Same final topology: all-pairs distances must agree exactly.
+    for u in 1..=n as NodeKey {
+        for v in 1..=n as NodeKey {
+            assert_eq!(
+                net.tree().distance_keys(u, v),
+                oracle.tree.distance_keys(u, v),
+                "{label}: final topology differs at pair ({u},{v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_ledger_is_move_for_move_identical_to_dense_optimal_dp() {
+    let n = 40;
+    for k in [2usize, 3, 4] {
+        let trace = gens::zipf(n, 2000, 1.2, 100 + k as u64);
+        assert_sparse_matches_dense(
+            &format!("optimal-DP k={k}"),
+            k,
+            n,
+            400,
+            &trace,
+            move |nn, counts| {
+                optimal_routing_based(&DemandMatrix::from_counts(nn, counts), k).shape
+            },
+            optimal_rebuilder(k),
+        );
+    }
+}
+
+#[test]
+fn sparse_ledger_is_move_for_move_identical_to_dense_weight_balanced() {
+    let n = 60;
+    for k in [2usize, 3, 4] {
+        let trace = gens::temporal(n, 4000, 0.7, 200 + k as u64);
+        assert_sparse_matches_dense(
+            &format!("weight-balanced k={k}"),
+            k,
+            n,
+            500,
+            &trace,
+            move |nn, counts| ShapeTree::weight_balanced(nn, k, &dense_key_weights(nn, counts)),
+            weight_balanced_rebuilder(k),
+        );
+    }
+}
+
+#[test]
+fn sparse_ledger_is_move_for_move_identical_to_dense_centroid() {
+    let n = 50;
+    for k in [2usize, 3, 4] {
+        let trace = gens::projector(n, 3000, 300 + k as u64);
+        assert_sparse_matches_dense(
+            &format!("centroid k={k}"),
+            k,
+            n,
+            350,
+            &trace,
+            move |nn, _counts| centroid_shape(nn, k),
+            centroid_rebuilder(k),
+        );
+    }
+}

@@ -3,7 +3,7 @@
 
 use ksan::core::{LazyKaryNet, Network};
 use ksan::prelude::*;
-use ksan::sim::experiments::{centroid_rebuilder, optimal_rebuilder};
+use ksan::sim::experiments::{centroid_rebuilder, optimal_rebuilder, weight_balanced_rebuilder};
 
 #[test]
 fn lazy_optimal_rebuild_improves_routing_on_skewed_traffic() {
@@ -21,6 +21,28 @@ fn lazy_optimal_rebuild_improves_routing_on_skewed_traffic() {
     assert!(
         ml.routing < mf.routing,
         "demand-aware rebuilds must cut routing cost ({} vs {})",
+        ml.routing,
+        mf.routing
+    );
+    ksan::core::invariants::validate(lazy.tree()).unwrap();
+}
+
+#[test]
+fn lazy_weight_balanced_rebuild_improves_routing_beyond_dp_reach() {
+    // n = 5000 is far past any O(n³k) DP budget; the weight-balanced
+    // policy is what makes demand-aware lazy rebuilds viable there.
+    let n = 5000;
+    let k = 3;
+    let trace = gens::zipf(n, 40_000, 1.3, 13);
+    let mut frozen = LazyKaryNet::new(k, n, u64::MAX, weight_balanced_rebuilder(k));
+    let mf = ksan::sim::run(&mut frozen, &trace);
+    assert_eq!(frozen.rebuilds(), 0);
+    let mut lazy = LazyKaryNet::new(k, n, 60_000, weight_balanced_rebuilder(k));
+    let ml = ksan::sim::run(&mut lazy, &trace);
+    assert!(lazy.rebuilds() >= 1, "threshold must have fired");
+    assert!(
+        ml.routing < mf.routing,
+        "weight-balanced rebuilds must cut routing cost ({} vs {})",
         ml.routing,
         mf.routing
     );

@@ -215,6 +215,35 @@ proptest! {
     }
 
     #[test]
+    fn sym_diff_matches_reference_set_symmetric_difference(
+        raw_a in arb_requests(30, 50),
+        raw_b in arb_requests(30, 50),
+    ) {
+        // `sym_diff` counts differing links between two topologies from
+        // their sorted duplicate-free edge lists. Reference: a HashSet
+        // symmetric difference. Canonicalizing through a BTreeSet yields
+        // exactly the input class sym_diff promises to handle — sorted,
+        // duplicate-free, arbitrary (typically unequal) lengths.
+        use std::collections::{BTreeSet, HashSet};
+        let canon = |raw: Vec<(u32, u32)>| -> Vec<(u32, u32)> {
+            raw.into_iter()
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        };
+        let a = canon(raw_a);
+        let b = canon(raw_b);
+        let sa: HashSet<_> = a.iter().copied().collect();
+        let sb: HashSet<_> = b.iter().copied().collect();
+        let want = sa.symmetric_difference(&sb).count() as u64;
+        prop_assert_eq!(ksan::core::lazy::sym_diff(&a, &b), want);
+        // sanity on the algebra: empty vs X is |X|, X vs X is 0
+        prop_assert_eq!(ksan::core::lazy::sym_diff(&a, &a), 0);
+        prop_assert_eq!(ksan::core::lazy::sym_diff(&[], &b), b.len() as u64);
+    }
+
+    #[test]
     fn dist_tree_distance_is_a_tree_metric(
         n in 2usize..40,
         k in 2usize..=6,
