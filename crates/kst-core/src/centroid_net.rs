@@ -261,6 +261,7 @@ impl Network for KPlusOneSplayNet {
             routing,
             rotations: stats.rotations,
             links_changed: stats.links_changed,
+            ..ServeCost::default()
         }
     }
 

@@ -159,6 +159,7 @@ impl Network for KSplayNet {
             routing,
             rotations: stats.rotations,
             links_changed: stats.links_changed,
+            ..ServeCost::default()
         }
     }
 

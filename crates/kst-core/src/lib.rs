@@ -61,16 +61,24 @@ const _: () = {
     assert_send::<shape::ShapeTree>();
     assert_send::<net::ServeCost>();
     // Lazy nets are Send whenever their rebuild policy is.
-    assert_send::<lazy::LazyKaryNet<fn(&kst_workloads::SparseDemand) -> shape::ShapeTree>>();
+    assert_send::<
+        lazy::LazyKaryNet<
+            lazy::FullRebuild<fn(&kst_workloads::DemandView<'_>) -> shape::ShapeTree>,
+        >,
+    >();
+    assert_send::<lazy::LazyKaryNet<lazy::IncrementalWeightBalanced>>();
 };
 
 pub use centroid_net::{KPlusOneSplayNet, Membership};
 pub use key::{key_image, NodeIdx, NodeKey, RoutingKey, NIL};
 pub use ksplaynet::KSplayNet;
-pub use kst_workloads::SparseDemand;
-pub use lazy::{weight_balanced_rebuilder, LazyKaryNet, Rebuild};
+pub use kst_workloads::{DecayingDemand, DemandView, DirtyIndex, SparseDemand};
+pub use lazy::{
+    incremental_weight_balanced_rebuilder, weight_balanced_rebuilder, ApplyStats, FullRebuild,
+    IncrementalWeightBalanced, LazyKaryNet, Rebuild, RebuildPlan, SubtreePatch,
+};
 pub use net::{Network, ServeCost};
 pub use restructure::{RestructureStats, WindowPolicy};
 pub use shape::ShapeTree;
 pub use splay::{SplayStats, SplayStrategy};
-pub use tree::KstTree;
+pub use tree::{KstTree, PatchStats};

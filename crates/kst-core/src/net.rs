@@ -19,6 +19,12 @@ pub struct ServeCost {
     pub rotations: u64,
     /// Physical links added + removed while adjusting.
     pub links_changed: u64,
+    /// Subtree patches applied by a rebuild this request triggered (0 for
+    /// everything but lazy nets at an epoch boundary; a full rebuild is
+    /// one whole-tree patch). Telemetry for how *local* rebuilds are.
+    pub rebuild_patches: u64,
+    /// Nodes re-formed by that rebuild (n for a full rebuild).
+    pub rebuild_nodes: u64,
 }
 
 impl ServeCost {

@@ -85,6 +85,20 @@ pub struct KstTree {
     /// … and per-path-node key-gap positions, maintained incrementally
     /// across the re-form steps of one restructure.
     pub(crate) scratch_gaps: Vec<usize>,
+    /// Before/after edge buffers reused by [`KstTree::patch_subtree`]'s
+    /// sym-diff link accounting (capacity persists across patches).
+    pub(crate) scratch_edges_a: Vec<(NodeIdx, NodeIdx)>,
+    pub(crate) scratch_edges_b: Vec<(NodeIdx, NodeIdx)>,
+}
+
+/// Cost breakdown of one [`KstTree::patch_subtree`] application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Physical links added + removed by the patch (exact, via
+    /// [`crate::lazy::sym_diff`] of the subtree's edge lists).
+    pub links_changed: u64,
+    /// Nodes re-formed (the patched range's size).
+    pub nodes: u64,
 }
 
 impl KstTree {
@@ -102,11 +116,10 @@ impl KstTree {
         shape
             .validate(k)
             .expect("shape incompatible with requested arity");
-        let keys = shape.assign_keys(1);
         let mut t = KstTree {
             k,
             n,
-            root: key_to_idx(keys[shape.root as usize]),
+            root: 0,
             parent: vec![NIL; n],
             elems: vec![0; n * (k - 1)],
             children: vec![NIL; n * k],
@@ -118,13 +131,65 @@ impl KstTree {
             scratch_path: Vec::new(),
             scratch_pos: Vec::new(),
             scratch_gaps: Vec::new(),
+            scratch_edges_a: Vec::new(),
+            scratch_edges_b: Vec::new(),
         };
+        let root = t.write_fragment(shape, 1, 0, RoutingKey::MAX);
+        t.root = root;
+        t
+    }
+
+    /// Materializes `shape` **in place** over the contiguous key range
+    /// starting at `first_key`, with every routing element drawn strictly
+    /// from the enclosing gap `(glo, ghi)`. Overwrites exactly the arena
+    /// entries of keys `first_key .. first_key + shape.len()` and returns
+    /// the fragment's root index; the caller attaches the root (parent
+    /// pointer / child slot / tree root).
+    ///
+    /// This is `from_shape`'s materialization loop, factored out so
+    /// [`KstTree::patch_subtree`] can re-form a single subtree without
+    /// touching the rest of the arena. Element placement mirrors the
+    /// original greedy scheme — one mandatory separator between adjacent
+    /// chunks, spares clustered immediately below the own key image — with
+    /// two additions that make it correct for **arbitrary** enclosing gaps
+    /// (a patched subtree's gap boundaries are ancestor elements that may
+    /// crowd right up against the fragment's extreme key images, unlike
+    /// the unbounded `(0, MAX)` gap of a full build):
+    ///
+    /// * **capacity reservation** — the element closing a child chunk's
+    ///   gap is floored at `gap_lo + size·k + 1`, reserving exactly the
+    ///   `size` key images plus `size·(k−1)` elements the chunk's own
+    ///   materialization will place inside that gap;
+    /// * **cluster spill** — when the gap's lower boundary leaves no room
+    ///   below the own key image (only possible at the fragment's minimum
+    ///   key), the remaining cluster elements spill to just *above* the
+    ///   image.
+    ///
+    /// Feasibility invariant: any gap that previously held a subtree on
+    /// the same key range has at least `size·k` usable values (`size`
+    /// images + `size·(k−1)` elements fit there before), and the
+    /// reservation floor propagates exactly that bound down the fragment,
+    /// so the placement asserts can only trip on a range that never was a
+    /// subtree. In the unconstrained full-build gap neither addition ever
+    /// binds and the produced elements are identical to the historical
+    /// `from_shape` output.
+    fn write_fragment(
+        &mut self,
+        shape: &ShapeTree,
+        first_key: NodeKey,
+        glo: RoutingKey,
+        ghi: RoutingKey,
+    ) -> NodeIdx {
+        let k = self.k;
+        let km1 = k - 1;
+        let keys = shape.assign_keys(first_key);
         // Key range (min, max key) of every shape subtree, for element
-        // placement.
+        // placement and capacity reservation (subtree keys are contiguous,
+        // so the subtree size is `max − min + 1`).
         let mut min_key = keys.clone();
         let mut max_key = keys.clone();
         // post-order fill
-        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut order: Vec<u32> = Vec::with_capacity(shape.len());
         let mut stack = vec![shape.root];
         while let Some(v) = stack.pop() {
             order.push(v);
@@ -147,25 +212,24 @@ impl KstTree {
             hi_img: RoutingKey,
             chunk: usize, // usize::MAX for the own key
         }
-        let mut elems: Vec<RoutingKey> = Vec::with_capacity(k - 1);
+        let mut elems: Vec<RoutingKey> = Vec::with_capacity(km1);
         let mut slot_of_chunk: Vec<usize> = Vec::with_capacity(k);
+        let mut chunk_size: Vec<u64> = Vec::with_capacity(k);
         let mut items: Vec<Item> = Vec::with_capacity(k + 1);
-        let mut stack: Vec<(u32, RoutingKey, RoutingKey)> = vec![(shape.root, 0, RoutingKey::MAX)];
+        let mut stack: Vec<(u32, RoutingKey, RoutingKey)> = vec![(shape.root, glo, ghi)];
         while let Some((v, lo, hi)) = stack.pop() {
             let vi = key_to_idx(keys[v as usize]) as usize;
-            t.lo[vi] = lo;
-            t.hi[vi] = hi;
+            self.lo[vi] = lo;
+            self.hi[vi] = hi;
             let cs = &shape.children[v as usize];
             let gap = shape.key_gap[v as usize] as usize;
             let own = key_image(keys[v as usize]);
             // Items in order: chunks (children) with the own key at `gap`.
-            // Element placement: one mandatory separator between adjacent
-            // chunks; spares isolate the own key, then pile up at the left
-            // boundary as empty leading slots.
             let c = cs.len();
             elems.clear();
             slot_of_chunk.clear();
             slot_of_chunk.resize(c, usize::MAX);
+            chunk_size.clear();
             items.clear();
             for (i, &ch) in cs.iter().enumerate() {
                 if i == gap {
@@ -180,6 +244,7 @@ impl KstTree {
                     hi_img: key_image(max_key[ch as usize]),
                     chunk: i,
                 });
+                chunk_size.push((max_key[ch as usize] - min_key[ch as usize] + 1) as u64);
             }
             if gap == c {
                 items.push(Item {
@@ -191,10 +256,12 @@ impl KstTree {
             // Element placement. Budget: exactly k-1 elements.
             // * one mandatory separator between each adjacent chunk pair
             //   whose boundary is not occupied by the own key (placed just
-            //   above the left chunk);
+            //   above the left chunk, floored by the capacity
+            //   reservation);
             // * everything else — the separator of the key-occupied
             //   boundary plus all spares — forms a cluster immediately
-            //   *below* the own key image.
+            //   *below* the own key image, spilling above it when the gap
+            //   boundary is tight.
             //
             // The below-key cluster makes every node's elements
             // order-adjacent to its identifier, which (a) mimics the
@@ -203,55 +270,212 @@ impl KstTree {
             // classic BST whose routing element *is* the key — the basis of
             // the move-for-move differential test against splaynet-classic.
             let mandatory = c.saturating_sub(1);
-            let spares = (k - 1) - mandatory;
+            let spares = km1 - mandatory;
             let key_interior = c > 0 && gap > 0 && gap < c;
             let cluster = spares + usize::from(key_interior);
-            let mut last = lo; // exclusive lower bound for the next value
-            let push_elem = |elems: &mut Vec<RoutingKey>,
-                             last: &mut RoutingKey,
-                             value: RoutingKey,
-                             upper: RoutingKey| {
-                let v = value.max(*last + 1);
-                assert!(v < upper, "routing-element space exhausted");
-                elems.push(v);
-                *last = v;
-            };
+            // `last` = value of the last pin (element or image) emitted;
+            // `min_next` = capacity floor for the next element value,
+            // accumulating the reservations of everything in the open gap.
+            let mut last = lo;
+            let mut min_next = lo.saturating_add(1);
             for (i, it) in items.iter().enumerate() {
                 if it.chunk == usize::MAX {
-                    // The own key: emit the below-key cluster first.
-                    for s in 0..cluster {
-                        let want = own - (cluster - s) as RoutingKey;
-                        push_elem(&mut elems, &mut last, want, own);
+                    if cluster > 0 {
+                        let floor = (last + 1).max(min_next);
+                        let below = own.saturating_sub(floor).min(cluster as u64) as usize;
+                        for s in 0..below {
+                            elems.push(own - (below - s) as RoutingKey);
+                        }
+                        last = own;
+                        min_next = own + 1;
+                        let overflow = cluster - below;
+                        if overflow > 0 {
+                            // Tight lower boundary (fragment-min image):
+                            // spill the rest just above the own key.
+                            let upper = items.get(i + 1).map(|nx| nx.lo_img).unwrap_or(hi);
+                            assert!(
+                                own + (overflow as RoutingKey) < upper,
+                                "routing-element space exhausted"
+                            );
+                            for s in 0..overflow {
+                                elems.push(own + 1 + s as RoutingKey);
+                            }
+                            last = own + overflow as RoutingKey;
+                            min_next = last + 1;
+                        }
+                    } else {
+                        last = last.max(own);
+                        min_next = min_next.max(own + 1);
                     }
-                    last = last.max(own);
                 } else {
                     slot_of_chunk[it.chunk] = elems.len();
+                    // Reserve room for the chunk's internal images and
+                    // elements before anything else may close its gap.
+                    min_next = min_next.saturating_add(chunk_size[it.chunk] * k as u64);
                     last = last.max(it.hi_img);
+                    min_next = min_next.max(last + 1);
                     // Mandatory separator if the next item is also a chunk.
                     if let Some(next) = items.get(i + 1) {
                         if next.chunk != usize::MAX {
-                            let want = last + 1;
-                            push_elem(&mut elems, &mut last, want, next.lo_img);
+                            let val = (last + 1).max(min_next);
+                            assert!(val < next.lo_img, "routing-element space exhausted");
+                            elems.push(val);
+                            last = val;
+                            min_next = val + 1;
                         }
                     }
                 }
             }
-            assert_eq!(elems.len(), k - 1);
+            assert_eq!(elems.len(), km1);
+            debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(elems.first().map(|&e| e > lo).unwrap_or(true));
+            debug_assert!(elems.last().map(|&e| e < hi).unwrap_or(true));
             // Write node.
-            let base_e = vi * (k - 1);
-            t.elems[base_e..base_e + k - 1].copy_from_slice(&elems);
+            let base_e = vi * km1;
+            self.elems[base_e..base_e + km1].copy_from_slice(&elems);
             let base_c = vi * k;
+            self.children[base_c..base_c + k].fill(NIL);
             for (i, &ch) in cs.iter().enumerate() {
                 let slot = slot_of_chunk[i];
                 let ci = key_to_idx(keys[ch as usize]);
-                t.children[base_c + slot] = ci;
-                t.parent[ci as usize] = vi as NodeIdx;
+                self.children[base_c + slot] = ci;
+                self.parent[ci as usize] = vi as NodeIdx;
                 let slo = if slot == 0 { lo } else { elems[slot - 1] };
                 let shi = if slot == k - 1 { hi } else { elems[slot] };
                 stack.push((ch, slo, shi));
             }
         }
-        t
+        key_to_idx(keys[shape.root as usize])
+    }
+
+    /// Replaces the subtree whose key set is exactly `[lo, hi]` with a
+    /// freshly materialized `fragment` (a shape on `hi − lo + 1` nodes;
+    /// keys are assigned `lo..=hi` in-order), re-forming **only** the
+    /// arena entries of that range — the incremental counterpart of a full
+    /// `from_shape` rebuild, O(subtree) instead of O(n).
+    ///
+    /// The range must currently be a subtree: some node's descendants
+    /// carry exactly the keys `lo..=hi` (every subtree of a k-ary search
+    /// tree owns a contiguous key range, so this is the natural patch
+    /// unit; the planner derives candidate ranges from the live tree).
+    /// Locating the range root is O(depth), verification plus re-forming
+    /// is O(subtree), and the exact adjustment cost comes from
+    /// [`crate::lazy::sym_diff`] over the subtree's before/after edge
+    /// lists (anchor edge included) — the same accounting the full
+    /// rebuild path uses. Edge buffers live in persistent scratch, so
+    /// repeated patches reuse their capacity.
+    ///
+    /// Panics if the range is not a subtree or the fragment does not fit;
+    /// the whole-tree range `[1, n]` degenerates to a full rebuild.
+    pub fn patch_subtree(&mut self, lo: NodeKey, hi: NodeKey, fragment: &ShapeTree) -> PatchStats {
+        let k = self.k;
+        assert!(
+            lo >= 1 && lo <= hi && hi as usize <= self.n,
+            "patch range [{lo},{hi}] outside keyspace 1..={}",
+            self.n
+        );
+        let size = (hi - lo + 1) as usize;
+        assert_eq!(
+            fragment.len(),
+            size,
+            "fragment has {} nodes, range [{lo},{hi}] needs {size}",
+            fragment.len()
+        );
+        fragment
+            .validate(k)
+            .expect("fragment incompatible with requested arity");
+        // 1. Locate the range root by descending from the tree root while
+        //    maintaining the exact enclosing gap: as long as the current
+        //    node's own key lies outside [lo, hi], both range endpoints
+        //    must route into the same child slot.
+        let lo_img = key_image(lo);
+        let hi_img = key_image(hi);
+        let (mut glo, mut ghi) = (0u64, RoutingKey::MAX);
+        let mut anchor = NIL;
+        let mut anchor_slot = usize::MAX;
+        let mut r = self.root;
+        loop {
+            let rk = idx_to_key(r);
+            if lo <= rk && rk <= hi {
+                break;
+            }
+            let es = self.elems(r);
+            let j = es.partition_point(|&e| e < lo_img);
+            assert_eq!(
+                j,
+                es.partition_point(|&e| e < hi_img),
+                "[{lo},{hi}] splits across node key {rk}: not a subtree range"
+            );
+            if j > 0 {
+                glo = es[j - 1];
+            }
+            if j < k - 1 {
+                ghi = es[j];
+            }
+            let c = self.children(r)[j];
+            assert!(
+                c != NIL,
+                "[{lo},{hi}] routes into an empty slot: not a subtree range"
+            );
+            anchor = r;
+            anchor_slot = j;
+            r = c;
+        }
+        // 2. Verify the subtree under `r` is exactly the range, collecting
+        //    its current edges (anchor edge included) for link accounting.
+        let mut before = std::mem::take(&mut self.scratch_edges_a);
+        let mut after = std::mem::take(&mut self.scratch_edges_b);
+        before.clear();
+        after.clear();
+        let mut count = 0usize;
+        let mut stack: Vec<NodeIdx> = vec![r];
+        while let Some(v) = stack.pop() {
+            count += 1;
+            let vk = idx_to_key(v);
+            assert!(
+                lo <= vk && vk <= hi,
+                "key {vk} under range root violates [{lo},{hi}]: not a subtree range"
+            );
+            for &c in self.children(v) {
+                if c != NIL {
+                    before.push((v.min(c), v.max(c)));
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(
+            count,
+            size,
+            "subtree under key {} holds {count} nodes, range [{lo},{hi}] needs {size}",
+            idx_to_key(r)
+        );
+        if anchor != NIL {
+            before.push((r.min(anchor), r.max(anchor)));
+        }
+        before.sort_unstable();
+        // 3. Re-form the range in place and reattach.
+        let new_root = self.write_fragment(fragment, lo, glo, ghi);
+        self.set_parent(new_root, anchor);
+        if anchor == NIL {
+            self.set_root(new_root);
+        } else {
+            self.children_mut(anchor)[anchor_slot] = new_root;
+        }
+        // 4. Exact links_changed via the shared sym-diff machinery.
+        for idx in key_to_idx(lo)..=key_to_idx(hi) {
+            let p = self.parent(idx);
+            if p != NIL {
+                after.push((idx.min(p), idx.max(p)));
+            }
+        }
+        after.sort_unstable();
+        let links_changed = crate::lazy::sym_diff(&before, &after);
+        self.scratch_edges_a = before;
+        self.scratch_edges_b = after;
+        PatchStats {
+            links_changed,
+            nodes: size as u64,
+        }
     }
 
     /// Builds the complete (balanced) k-ary search tree on `n` nodes.
@@ -470,6 +694,8 @@ impl Clone for KstTree {
             scratch_path: Vec::with_capacity(self.scratch_path.capacity()),
             scratch_pos: Vec::with_capacity(self.scratch_pos.capacity()),
             scratch_gaps: Vec::with_capacity(self.scratch_gaps.capacity()),
+            scratch_edges_a: Vec::with_capacity(self.scratch_edges_a.capacity()),
+            scratch_edges_b: Vec::with_capacity(self.scratch_edges_b.capacity()),
         }
     }
 }

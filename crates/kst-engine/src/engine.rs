@@ -188,6 +188,8 @@ fn add_cost(acc: &mut ServeCost, c: ServeCost) {
     acc.routing += c.routing;
     acc.rotations += c.rotations;
     acc.links_changed += c.links_changed;
+    acc.rebuild_patches += c.rebuild_patches;
+    acc.rebuild_nodes += c.rebuild_nodes;
 }
 
 /// A sharded serving engine: `S` independent shard networks plus the
@@ -419,6 +421,8 @@ impl<N: Network + Send> ShardedEngine<N> {
             routing: cross_half.routing + cross_requests * router_hops,
             rotations: cross_half.rotations,
             links_changed: cross_half.links_changed,
+            rebuild_patches: cross_half.rebuild_patches,
+            rebuild_patched_nodes: cross_half.rebuild_nodes,
         };
         report.router_hops = cross_requests * router_hops;
         report

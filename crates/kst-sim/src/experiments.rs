@@ -10,7 +10,7 @@ use kst_statics::{
     centroid_tree, full_kary, optimal_bst_knuth_slack, optimal_routing_based_tree, DistTree,
     StaticNet,
 };
-use kst_workloads::{gens, stats, DemandMatrix, SparseDemand, Trace, TraceStats};
+use kst_workloads::{gens, stats, DemandMatrix, Trace, TraceStats};
 use splaynet_classic::ClassicSplayNet;
 
 /// Experiment scaling knobs (env-overridable so CI can run small).
@@ -352,26 +352,32 @@ pub fn run_network<N: Network>(mut net: N, trace: &Trace) -> Metrics {
 }
 
 /// Rebuild policy for [`kst_core::LazyKaryNet`]: the optimal static
-/// routing-based tree (Theorem 2's DP) on the epoch's observed demand.
-/// The DP wants a dense matrix, so the sparse epoch ledger is densified
-/// once per rebuild (writing only the observed pairs) — small-n only, as
-/// the DP itself is O(n³·k).
-pub fn optimal_rebuilder(k: usize) -> impl FnMut(&SparseDemand) -> kst_core::ShapeTree {
-    move |sparse| {
-        let demand = DemandMatrix::from_sparse(sparse);
+/// routing-based tree (Theorem 2's DP) on the ledger's smoothed demand,
+/// planned as the degenerate whole-tree patch. The DP wants a dense
+/// matrix, so the view's sparse pairs are densified once per rebuild
+/// (writing only the observed pairs) — small-n only, as the DP itself is
+/// O(n³·k).
+pub fn optimal_rebuilder(k: usize) -> impl kst_core::Rebuild {
+    kst_core::FullRebuild(move |view: &kst_workloads::DemandView<'_>| {
+        let demand = DemandMatrix::from_pairs(view.n(), &view.pairs_sorted());
         kst_statics::optimal_routing_based(&demand, k).shape
-    }
+    })
 }
 
-/// Rebuild policy: the demand-oblivious centroid tree (Theorem 8).
-pub fn centroid_rebuilder(k: usize) -> impl FnMut(&SparseDemand) -> kst_core::ShapeTree {
-    move |sparse| kst_statics::centroid_shape(sparse.n(), k)
+/// Rebuild policy: the demand-oblivious centroid tree (Theorem 8), as a
+/// whole-tree plan.
+pub fn centroid_rebuilder(k: usize) -> impl kst_core::Rebuild {
+    kst_core::FullRebuild(move |view: &kst_workloads::DemandView<'_>| {
+        kst_statics::centroid_shape(view.n(), k)
+    })
 }
 
-/// Rebuild policy scaling to millions of nodes (re-exported from
-/// `kst-core` so the three lazy rebuild policies live side by side): the
-/// weight-balanced tree on the epoch's observed key frequencies.
-pub use kst_core::lazy::weight_balanced_rebuilder;
+/// Rebuild policies scaling to millions of nodes (re-exported from
+/// `kst-core` so the lazy rebuild policies live side by side): the
+/// weight-balanced whole-tree plan on the ledger's smoothed key
+/// frequencies, and its incremental variant patching only drifted
+/// subtrees.
+pub use kst_core::lazy::{incremental_weight_balanced_rebuilder, weight_balanced_rebuilder};
 
 /// Adapter making a static `DistTree` a servable network.
 pub fn static_net(tree: DistTree, name: &str) -> StaticNet {

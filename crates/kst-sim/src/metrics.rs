@@ -16,6 +16,12 @@ pub struct Metrics {
     /// Total physical links changed (the model's adjustment cost measured
     /// in edges added/removed, Section 2).
     pub links_changed: u64,
+    /// Total subtree patches applied by lazy-net rebuilds (a full rebuild
+    /// counts as one whole-tree patch) — telemetry for how *local* the
+    /// incremental rebuild machinery actually is.
+    pub rebuild_patches: u64,
+    /// Total nodes re-formed by those rebuilds (n per full rebuild).
+    pub rebuild_patched_nodes: u64,
 }
 
 impl Metrics {
@@ -25,6 +31,8 @@ impl Metrics {
         self.routing += c.routing;
         self.rotations += c.rotations;
         self.links_changed += c.links_changed;
+        self.rebuild_patches += c.rebuild_patches;
+        self.rebuild_patched_nodes += c.rebuild_nodes;
     }
 
     /// Mean routing cost per request.
@@ -82,6 +90,18 @@ impl Metrics {
         self.routing += other.routing;
         self.rotations += other.rotations;
         self.links_changed += other.links_changed;
+        self.rebuild_patches += other.rebuild_patches;
+        self.rebuild_patched_nodes += other.rebuild_patched_nodes;
+    }
+
+    /// Mean nodes re-formed per rebuild patch (0 when no patches ran) —
+    /// the locality figure the experiment tables report.
+    pub fn avg_patch_size(&self) -> f64 {
+        if self.rebuild_patches == 0 {
+            0.0
+        } else {
+            self.rebuild_patched_nodes as f64 / self.rebuild_patches as f64
+        }
     }
 }
 
@@ -96,17 +116,24 @@ mod tests {
             routing: 4,
             rotations: 2,
             links_changed: 6,
+            rebuild_patches: 2,
+            rebuild_nodes: 30,
         });
         m.absorb(ServeCost {
             routing: 2,
             rotations: 0,
             links_changed: 0,
+            rebuild_patches: 0,
+            rebuild_nodes: 0,
         });
         assert_eq!(m.requests, 2);
         assert_eq!(m.routing, 6);
         assert!((m.avg_routing() - 3.0).abs() < 1e-12);
         assert!((m.avg_rotations() - 1.0).abs() < 1e-12);
         assert_eq!(m.total_unit_cost(), 8);
+        assert_eq!(m.rebuild_patches, 2);
+        assert_eq!(m.rebuild_patched_nodes, 30);
+        assert!((m.avg_patch_size() - 15.0).abs() < 1e-12);
     }
 
     #[test]
@@ -116,10 +143,14 @@ mod tests {
             routing: 2,
             rotations: 3,
             links_changed: 4,
+            rebuild_patches: 5,
+            rebuild_patched_nodes: 6,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.requests, 2);
         assert_eq!(a.links_changed, 8);
+        assert_eq!(a.rebuild_patches, 10);
+        assert_eq!(a.rebuild_patched_nodes, 12);
     }
 }

@@ -160,8 +160,7 @@ impl Network for StaticNet {
     fn serve(&mut self, u: NodeKey, v: NodeKey) -> ServeCost {
         ServeCost {
             routing: self.tree.distance(u, v),
-            rotations: 0,
-            links_changed: 0,
+            ..ServeCost::default()
         }
     }
 

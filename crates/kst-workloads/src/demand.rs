@@ -18,14 +18,16 @@
 use crate::trace::NodeKey;
 use std::collections::HashMap;
 
-/// Packs a directed pair into one hash key (row-major order-preserving).
+/// Packs a directed pair into one hash key (row-major order-preserving;
+/// shared with the decaying ledger, whose smoothed map must use the same
+/// encoding the epoch pairs fold in under).
 #[inline]
-fn pack(u: NodeKey, v: NodeKey) -> u64 {
+pub(crate) fn pack(u: NodeKey, v: NodeKey) -> u64 {
     ((u as u64) << 32) | v as u64
 }
 
 #[inline]
-fn unpack(p: u64) -> (NodeKey, NodeKey) {
+pub(crate) fn unpack(p: u64) -> (NodeKey, NodeKey) {
     ((p >> 32) as NodeKey, p as NodeKey)
 }
 
@@ -111,17 +113,22 @@ impl SparseDemand {
         self.total = 0;
     }
 
+    /// All `(u, v, count)` entries in **hash-map order** — for consumers
+    /// whose fold is commutative and exact (e.g. the decaying ledger's
+    /// epoch merge), where paying the canonical sort buys nothing.
+    /// Anything whose output depends on visit order must use
+    /// [`SparseDemand::pairs_sorted`] instead.
+    pub fn pairs_unsorted(&self) -> impl Iterator<Item = (NodeKey, NodeKey, u64)> + '_ {
+        self.counts.iter().map(|(&p, &c)| {
+            let (u, v) = unpack(p);
+            (u, v, c)
+        })
+    }
+
     /// All `(u, v, count)` entries in canonical row-major order — the
     /// deterministic view rebuild policies consume.
     pub fn pairs_sorted(&self) -> Vec<(NodeKey, NodeKey, u64)> {
-        let mut pairs: Vec<(NodeKey, NodeKey, u64)> = self
-            .counts
-            .iter()
-            .map(|(&p, &c)| {
-                let (u, v) = unpack(p);
-                (u, v, c)
-            })
-            .collect();
+        let mut pairs: Vec<(NodeKey, NodeKey, u64)> = self.pairs_unsorted().collect();
         pairs.sort_unstable_by_key(|&(u, v, _)| (u, v));
         pairs
     }

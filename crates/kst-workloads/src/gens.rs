@@ -293,6 +293,103 @@ pub fn sharded_hot_pairs(n: usize, m: usize, shards: usize, cold_every: usize, s
     Trace::new(n, reqs)
 }
 
+/// Non-stationary hot-pair workload: the hot-pair set **rotates** every
+/// `period` requests through `sets` independently drawn sets of
+/// `pairs_per_set` far-apart pairs (cycling back to the first set), and
+/// each request picks a pair from the *current* set with probability
+/// `p_hot` (direction uniform), otherwise a uniform random pair.
+///
+/// This is the regime where per-epoch demand ledgers thrash — each rebuild
+/// specializes to the phase that just ended — while an EWMA ledger
+/// ([`crate::DecayingDemand`]) converges on the union of the rotating
+/// sets. Seeded and fully deterministic like every other generator here.
+pub fn phase_shift(
+    n: usize,
+    m: usize,
+    period: usize,
+    sets: usize,
+    pairs_per_set: usize,
+    p_hot: f64,
+    seed: u64,
+) -> Trace {
+    assert!(period >= 1 && sets >= 1 && pairs_per_set >= 1);
+    assert!(
+        n >= 2 * sets * pairs_per_set,
+        "keyspace too small for hot sets"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw the hot sets up front from a shared permutation so sets are
+    // disjoint (rotation really does move to *unrelated* pairs).
+    let perm = random_permutation(&mut rng, n);
+    let mut hot: Vec<Vec<(NodeKey, NodeKey)>> = Vec::with_capacity(sets);
+    let mut next = 0usize;
+    for _ in 0..sets {
+        let mut set = Vec::with_capacity(pairs_per_set);
+        for _ in 0..pairs_per_set {
+            set.push((perm[next] as NodeKey + 1, perm[next + 1] as NodeKey + 1));
+            next += 2;
+        }
+        hot.push(set);
+    }
+    let mut reqs: Vec<(NodeKey, NodeKey)> = Vec::with_capacity(m);
+    for i in 0..m {
+        let set = &hot[(i / period) % sets];
+        if rng.gen::<f64>() < p_hot {
+            let (u, v) = set[rng.gen_range(0..set.len())];
+            if rng.gen::<f64>() < 0.5 {
+                reqs.push((u, v));
+            } else {
+                reqs.push((v, u));
+            }
+        } else {
+            reqs.push(random_pair(&mut rng, n));
+        }
+    }
+    Trace::new(n, reqs)
+}
+
+/// Non-stationary Zipf workload: endpoints follow Zipf(α) marginals over a
+/// rank permutation that **drifts** — every `drift_every` requests,
+/// `swaps_per_drift` random transpositions are applied to the permutation,
+/// so the identity of the hot keys slowly wanders across the keyspace
+/// instead of rotating abruptly (the gradual-churn counterpart of
+/// [`phase_shift`]). Seeded and fully deterministic.
+pub fn drifting_zipf(
+    n: usize,
+    m: usize,
+    alpha: f64,
+    drift_every: usize,
+    swaps_per_drift: usize,
+    seed: u64,
+) -> Trace {
+    assert!(drift_every >= 1 && n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(n, alpha);
+    let mut perm = random_permutation(&mut rng, n);
+    let mut reqs: Vec<(NodeKey, NodeKey)> = Vec::with_capacity(m);
+    let mut since_drift = 0usize;
+    while reqs.len() < m {
+        if since_drift >= drift_every {
+            since_drift = 0;
+            for _ in 0..swaps_per_drift {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                perm.swap(i, j);
+            }
+        }
+        let u = (perm[zipf.sample(&mut rng)] + 1) as NodeKey;
+        let v = (perm[zipf.sample(&mut rng)] + 1) as NodeKey;
+        if u != v {
+            // Count only emitted requests toward the drift cadence, so
+            // rejected u == v draws (frequent under strong skew) cannot
+            // make the permutation drift faster than documented.
+            reqs.push((u, v));
+            since_drift += 1;
+        }
+    }
+    Trace::new(n, reqs)
+}
+
 fn random_pair(rng: &mut StdRng, n: usize) -> (NodeKey, NodeKey) {
     loop {
         let u = rng.gen_range(1..=n as NodeKey);
@@ -358,6 +455,68 @@ mod tests {
         assert_eq!(projector(50, 1000, 7), projector(50, 1000, 7));
         assert_eq!(facebook(200, 1000, 7), facebook(200, 1000, 7));
         assert_eq!(zipf(50, 1000, 1.2, 7), zipf(50, 1000, 1.2, 7));
+        assert_eq!(
+            phase_shift(200, 1000, 100, 3, 4, 0.9, 7),
+            phase_shift(200, 1000, 100, 3, 4, 0.9, 7)
+        );
+        assert_eq!(
+            drifting_zipf(100, 1000, 1.2, 50, 4, 7),
+            drifting_zipf(100, 1000, 1.2, 50, 4, 7)
+        );
+    }
+
+    #[test]
+    fn phase_shift_rotates_its_hot_set() {
+        // Within one phase the hot pairs dominate; across a phase boundary
+        // the dominating pair set changes.
+        let t = phase_shift(400, 4000, 1000, 4, 3, 0.95, 11);
+        assert_eq!(t.len(), 4000);
+        let canon = |(u, v): (NodeKey, NodeKey)| (u.min(v), u.max(v));
+        let top_pairs = |reqs: &[(NodeKey, NodeKey)]| {
+            let mut cnt = std::collections::HashMap::new();
+            for &p in reqs {
+                *cnt.entry(canon(p)).or_insert(0u32) += 1;
+            }
+            let mut v: Vec<_> = cnt.into_iter().collect();
+            v.sort_by_key(|&(p, c)| (std::cmp::Reverse(c), p));
+            v.truncate(3);
+            v.into_iter().map(|(p, _)| p).collect::<Vec<_>>()
+        };
+        let phase0 = top_pairs(&t.requests()[..1000]);
+        let phase1 = top_pairs(&t.requests()[1000..2000]);
+        assert!(
+            phase0.iter().all(|p| !phase1.contains(p)),
+            "hot sets must rotate"
+        );
+        // ...and the cycle returns: phase 4 repeats phase 0's set.
+        // (only 4 phases fit in 4000 requests, so check set disjointness
+        // plus dominance instead)
+        let s = stats(&t);
+        assert!(s.distinct_pairs < 4000 / 2, "hot pairs must dominate");
+    }
+
+    #[test]
+    fn drifting_zipf_moves_its_hot_keys() {
+        // The most popular source early in the trace loses its dominance
+        // late in the trace once the permutation has drifted far enough.
+        let t = drifting_zipf(500, 40_000, 1.3, 200, 25, 13);
+        assert_eq!(t.len(), 40_000);
+        let top_src = |reqs: &[(NodeKey, NodeKey)]| {
+            let mut cnt = std::collections::HashMap::new();
+            for &(u, _) in reqs {
+                *cnt.entry(u).or_insert(0u32) += 1;
+            }
+            cnt.into_iter().max_by_key(|&(k, c)| (c, k)).unwrap()
+        };
+        let (early_key, early_cnt) = top_src(&t.requests()[..5000]);
+        let late_cnt = t.requests()[35_000..]
+            .iter()
+            .filter(|&&(u, _)| u == early_key)
+            .count() as u32;
+        assert!(
+            late_cnt < early_cnt / 2,
+            "early hot key {early_key} should fade: early {early_cnt}, late {late_cnt}"
+        );
     }
 
     #[test]

@@ -358,8 +358,16 @@ impl DemandMatrix {
     /// consumers' requirement, not a copy of caller-held counts — only the
     /// ledger's distinct pairs are written).
     pub fn from_sparse(sparse: &crate::demand::SparseDemand) -> DemandMatrix {
-        let mut m = DemandMatrix::zeros(sparse.n());
-        for (u, v, c) in sparse.pairs_sorted() {
+        DemandMatrix::from_pairs(sparse.n(), &sparse.pairs_sorted())
+    }
+
+    /// Densifies canonical-order `(u, v, count)` pair entries (as produced
+    /// by `SparseDemand::pairs_sorted` or `DemandView::pairs_sorted`) —
+    /// the dense-DP consumers' entry point for the planner-facing demand
+    /// views of the two-phase rebuild machinery.
+    pub fn from_pairs(n: usize, pairs: &[(NodeKey, NodeKey, u64)]) -> DemandMatrix {
+        let mut m = DemandMatrix::zeros(n);
+        for &(u, v, c) in pairs {
             // Same invariant every other constructor enforces — record()
             // only debug-asserts it, so re-check here in release too.
             assert_ne!(u, v, "diagonal must be zero (self-demand ({u},{u}))");

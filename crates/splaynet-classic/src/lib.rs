@@ -312,6 +312,7 @@ impl Network for ClassicSplayNet {
             routing,
             rotations,
             links_changed,
+            ..ServeCost::default()
         }
     }
 

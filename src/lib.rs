@@ -51,6 +51,9 @@ pub mod prelude {
     pub use kst_sim::{Metrics, Scale};
     pub use kst_statics::{centroid_tree, full_kary, optimal_routing_based_tree, DistTree};
     pub use kst_workloads::gens;
-    pub use kst_workloads::{partition_keyspace, DemandMatrix, KeyRange, SparseDemand, Trace};
+    pub use kst_workloads::{
+        partition_keyspace, DecayingDemand, DemandMatrix, DemandView, DirtyIndex, KeyRange,
+        SparseDemand, Trace,
+    };
     pub use splaynet_classic::ClassicSplayNet;
 }

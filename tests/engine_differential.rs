@@ -64,6 +64,17 @@ fn one_shard_engine_is_bit_identical_on_every_network_type() {
     assert_one_shard_identical("LazyKaryNet (weight-balanced rebuild)", |n| {
         ksan::core::LazyKaryNet::new(3, n, 400, ksan::core::weight_balanced_rebuilder(3))
     });
+    // Incremental plan/apply rebuilds with a decaying ledger ride through
+    // the engine unchanged — the sharding layer is policy-agnostic.
+    assert_one_shard_identical("LazyKaryNet (incremental, half-life 4)", |n| {
+        ksan::core::LazyKaryNet::new(
+            3,
+            n,
+            400,
+            ksan::core::incremental_weight_balanced_rebuilder(3, 8),
+        )
+        .with_half_life(4)
+    });
     assert_one_shard_identical("StaticNet (full 3-ary)", |n| {
         StaticNet::new(full_kary(n, 3), "full-3ary")
     });

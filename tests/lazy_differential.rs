@@ -1,26 +1,40 @@
-//! Differential guard for the sparse epoch-demand redesign of
-//! `LazyKaryNet`: the sparse-ledger path must be **move-for-move
-//! identical** to the old dense n×n accounting at small n — same rebuild
-//! timings, same rebuilt shapes (checked through all-pairs distances),
-//! same per-request `ServeCost` including `links_changed` — for
-//! k ∈ {2, 3, 4} across the optimal-DP, weight-balanced and centroid
-//! rebuild policies.
+//! Differential guard for the lazy-net rebuild machinery, in two layers.
 //!
+//! **All-dirty plan/apply ≡ the PR 4 full-rebuild path.** The production
+//! net now runs every rebuild through the two-phase plan/apply pipeline
+//! (`Rebuild::plan` → `RebuildPlan` → `KstTree::patch_subtree`), with
+//! classic whole-tree rebuilders degenerating to a single all-dirty patch
+//! over `[1, n]`. That degenerate path must be **move-for-move identical**
+//! to the historical full-rebuild implementation — same rebuild timings,
+//! same rebuilt shapes (checked through all-pairs distances), same
+//! per-request `ServeCost` including `links_changed` — for k ∈ {2, 3, 4}
+//! across the optimal-DP, weight-balanced and centroid rebuild policies.
 //! The oracle below is a faithful copy of the pre-refactor implementation
-//! (dense `vec![0; n*n]` ledger, `DemandMatrix::from_counts` densify per
-//! rebuild) with an independent `BTreeSet`-based link-difference count, so
-//! any divergence in the production path shows up as a per-request
-//! mismatch rather than a drifted total.
+//! (dense `vec![0; n*n]` ledger, densify per rebuild, whole-tree
+//! `from_shape` swap) with an independent `BTreeSet`-based link-difference
+//! count, so any divergence in the production path shows up as a
+//! per-request mismatch rather than a drifted total.
+//!
+//! **Incremental plans preserve the invariants.** Partial patches have no
+//! oracle — they are *supposed* to diverge from full rebuilds — so the
+//! guard for them is structural: after every rebuild of an incremental
+//! run, the tree passes `kst_core::invariants::validate` and greedy
+//! routing still delivers every probed pair along a path at least as long
+//! as the tree distance.
 
-use ksan::core::lazy::weight_balanced_rebuilder;
-use ksan::core::KstTree;
+use ksan::core::lazy::{incremental_weight_balanced_rebuilder, weight_balanced_rebuilder};
+use ksan::core::routing::route;
+use ksan::core::{FullRebuild, KstTree, Rebuild};
 use ksan::prelude::*;
 use ksan::sim::experiments::{centroid_rebuilder, optimal_rebuilder};
 use ksan::statics::{centroid_shape, optimal_routing_based};
 use std::collections::BTreeSet;
 
 /// The pre-refactor lazy net, verbatim: dense flat n×n epoch demand,
-/// rebuilder consuming `(n, &[u64])`, no α clamp (tests use α ≥ 1).
+/// rebuilder consuming `(n, &[u64])`, whole-tree rebuild on every trigger,
+/// no α clamp (tests use α ≥ 1). Reports the rebuild telemetry the
+/// degenerate all-dirty plan is defined to produce: one whole-tree patch
+/// re-forming all n nodes.
 struct DenseLazyOracle<F: FnMut(usize, &[u64]) -> ShapeTree> {
     tree: KstTree,
     k: usize,
@@ -63,6 +77,8 @@ impl<F: FnMut(usize, &[u64]) -> ShapeTree> DenseLazyOracle<F> {
             self.epoch_demand[(u as usize - 1) * n + (v as usize - 1)] += 1;
         }
         let mut links_changed = 0;
+        let mut rebuild_patches = 0;
+        let mut rebuild_nodes = 0;
         if self.since_rebuild >= self.alpha {
             let shape = (self.rebuilder)(n, &self.epoch_demand);
             let new_tree = KstTree::from_shape(self.k, &shape);
@@ -73,17 +89,21 @@ impl<F: FnMut(usize, &[u64]) -> ShapeTree> DenseLazyOracle<F> {
             self.since_rebuild = 0;
             self.epoch_demand.iter_mut().for_each(|d| *d = 0);
             self.rebuilds += 1;
+            rebuild_patches = 1;
+            rebuild_nodes = n as u64;
         }
         ServeCost {
             routing,
             rotations: 0,
             links_changed,
+            rebuild_patches,
+            rebuild_nodes,
         }
     }
 }
 
 /// Observed per-key frequencies from a dense matrix — the dense twin of
-/// `SparseDemand::key_weights` (each pair credits both endpoints).
+/// the sparse ledger's `key_weights` (each pair credits both endpoints).
 fn dense_key_weights(n: usize, counts: &[u64]) -> Vec<(NodeKey, u64)> {
     let mut hot = Vec::new();
     for key in 0..n {
@@ -98,23 +118,23 @@ fn dense_key_weights(n: usize, counts: &[u64]) -> Vec<(NodeKey, u64)> {
     hot
 }
 
-/// Runs `trace` through the dense oracle and the production sparse net
-/// with equivalent rebuild policies, asserting per-request bit-identity
-/// and identical final topologies.
-fn assert_sparse_matches_dense<FD, RS>(
+/// Runs `trace` through the dense oracle and the production plan/apply
+/// net with equivalent rebuild policies, asserting per-request
+/// bit-identity and identical final topologies.
+fn assert_plan_apply_matches_dense<FD, RS>(
     label: &str,
     k: usize,
     n: usize,
     alpha: u64,
     trace: &Trace,
     dense_policy: FD,
-    sparse_policy: RS,
+    plan_policy: RS,
 ) where
     FD: FnMut(usize, &[u64]) -> ShapeTree,
-    RS: FnMut(&SparseDemand) -> ShapeTree,
+    RS: Rebuild,
 {
     let mut oracle = DenseLazyOracle::new(k, n, alpha, dense_policy);
-    let mut net = ksan::core::LazyKaryNet::new(k, n, alpha, sparse_policy);
+    let mut net = ksan::core::LazyKaryNet::new(k, n, alpha, plan_policy);
     for (i, &(u, v)) in trace.requests().iter().enumerate() {
         let want = oracle.serve(u, v);
         let got = net.serve(u, v);
@@ -146,11 +166,11 @@ fn assert_sparse_matches_dense<FD, RS>(
 }
 
 #[test]
-fn sparse_ledger_is_move_for_move_identical_to_dense_optimal_dp() {
+fn all_dirty_plan_is_move_for_move_identical_to_dense_optimal_dp() {
     let n = 40;
     for k in [2usize, 3, 4] {
         let trace = gens::zipf(n, 2000, 1.2, 100 + k as u64);
-        assert_sparse_matches_dense(
+        assert_plan_apply_matches_dense(
             &format!("optimal-DP k={k}"),
             k,
             n,
@@ -165,11 +185,11 @@ fn sparse_ledger_is_move_for_move_identical_to_dense_optimal_dp() {
 }
 
 #[test]
-fn sparse_ledger_is_move_for_move_identical_to_dense_weight_balanced() {
+fn all_dirty_plan_is_move_for_move_identical_to_dense_weight_balanced() {
     let n = 60;
     for k in [2usize, 3, 4] {
         let trace = gens::temporal(n, 4000, 0.7, 200 + k as u64);
-        assert_sparse_matches_dense(
+        assert_plan_apply_matches_dense(
             &format!("weight-balanced k={k}"),
             k,
             n,
@@ -182,11 +202,11 @@ fn sparse_ledger_is_move_for_move_identical_to_dense_weight_balanced() {
 }
 
 #[test]
-fn sparse_ledger_is_move_for_move_identical_to_dense_centroid() {
+fn all_dirty_plan_is_move_for_move_identical_to_dense_centroid() {
     let n = 50;
     for k in [2usize, 3, 4] {
         let trace = gens::projector(n, 3000, 300 + k as u64);
-        assert_sparse_matches_dense(
+        assert_plan_apply_matches_dense(
             &format!("centroid k={k}"),
             k,
             n,
@@ -195,5 +215,128 @@ fn sparse_ledger_is_move_for_move_identical_to_dense_centroid() {
             move |nn, _counts| centroid_shape(nn, k),
             centroid_rebuilder(k),
         );
+    }
+}
+
+#[test]
+fn explicit_full_plan_wrapper_matches_dense_too() {
+    // An inline FullRebuild closure (the migration path for custom
+    // policies) goes through exactly the same degenerate plan.
+    let n = 48;
+    let k = 3;
+    let trace = gens::temporal(n, 2500, 0.6, 77);
+    assert_plan_apply_matches_dense(
+        "inline FullRebuild k=3",
+        k,
+        n,
+        300,
+        &trace,
+        move |nn, _counts| ShapeTree::balanced_kary(nn, k),
+        FullRebuild(move |d: &DemandView<'_>| ShapeTree::balanced_kary(d.n(), k)),
+    );
+}
+
+/// Incremental plans have no move-for-move oracle (locality is the whole
+/// point); the guard is structural: search-tree invariants and routing
+/// agreement must survive every patched rebuild, across arities and
+/// half-lives.
+#[test]
+fn incremental_plans_preserve_invariants_and_routing_agreement() {
+    for k in [2usize, 3, 4] {
+        let n = 512;
+        let mut net =
+            ksan::core::LazyKaryNet::new(k, n, 2_000, incremental_weight_balanced_rebuilder(k, 8))
+                .with_half_life(4);
+        // Non-stationary traffic so plans are genuinely partial: the hot
+        // region rotates, leaving the rest of the keyspace stale.
+        let trace = gens::phase_shift(n, 30_000, 1_500, 5, 4, 0.9, 40 + k as u64);
+        let mut rebuilds_seen = 0;
+        let mut partial_plans = 0;
+        for &(u, v) in trace.requests() {
+            let before = net.rebuilds();
+            let c = net.serve(u, v);
+            if net.rebuilds() > before {
+                rebuilds_seen += 1;
+                if c.rebuild_nodes > 0 && c.rebuild_nodes < n as u64 {
+                    partial_plans += 1;
+                }
+                // Invariants after every rebuild.
+                ksan::core::invariants::validate(net.tree())
+                    .unwrap_or_else(|e| panic!("k={k}: invariants broken after rebuild: {e}"));
+                // Routing agreement on a probe grid: greedy routing must
+                // deliver, never undercutting the tree distance.
+                for (a, b) in [(1u32, n as u32), (u, v), (7, n as u32 / 2), (v, 3)] {
+                    if a == b {
+                        continue;
+                    }
+                    let r = route(net.tree(), a, b)
+                        .unwrap_or_else(|e| panic!("k={k}: routing loop {a}->{b}: {e:?}"));
+                    assert_eq!(*r.hops.last().unwrap(), net.tree().node_of(b));
+                    assert!(r.len() >= net.tree().distance_keys(a, b));
+                }
+            }
+        }
+        assert!(rebuilds_seen >= 5, "k={k}: vacuous run ({rebuilds_seen})");
+        assert!(
+            partial_plans >= 1,
+            "k={k}: no partial plan ever ran — guard is vacuous"
+        );
+    }
+}
+
+/// `patch_subtree` on arbitrary subtree ranges of a *rotated* tree (gap
+/// boundaries crowded by splay-moved elements — the hard case for element
+/// placement) keeps every invariant, and an identity patch changes no
+/// links.
+#[test]
+fn patch_subtree_on_rotated_trees_keeps_invariants() {
+    for k in [2usize, 3, 5] {
+        let n = 300;
+        let mut splay = KSplayNet::balanced(k, n);
+        let trace = gens::zipf(n, 800, 1.2, 9 + k as u64);
+        for &(u, v) in trace.requests() {
+            splay.serve(u, v);
+        }
+        let mut tree = splay.tree().clone();
+        // Patch the subtree of every node at depth ≤ 3 with a fresh
+        // weight-balanced fragment biased to one hot key.
+        let mut patched = 0;
+        for v in tree.nodes() {
+            if tree.depth(v) > 3 {
+                continue;
+            }
+            // Subtree key range of v: min/max key over its DFS.
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            let mut count = 0usize;
+            let mut stack = vec![v];
+            while let Some(w) = stack.pop() {
+                let key = tree.key_of(w);
+                lo = lo.min(key);
+                hi = hi.max(key);
+                count += 1;
+                for &c in tree.children(w) {
+                    if c != ksan::core::NIL {
+                        stack.push(c);
+                    }
+                }
+            }
+            assert_eq!(
+                count,
+                (hi - lo + 1) as usize,
+                "subtree range not contiguous"
+            );
+            let size = count;
+            let hot = vec![(1 + (size as u32 / 2), 1_000u64)];
+            let frag = ShapeTree::weight_balanced(size, k, &hot);
+            let stats = tree.patch_subtree(lo, hi, &frag);
+            assert_eq!(stats.nodes, size as u64);
+            ksan::core::invariants::validate(&tree)
+                .unwrap_or_else(|e| panic!("k={k} patch [{lo},{hi}]: {e}"));
+            patched += 1;
+            if patched >= 12 {
+                break;
+            }
+        }
+        assert!(patched >= 4, "k={k}: too few patchable subtrees probed");
     }
 }

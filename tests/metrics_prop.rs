@@ -8,14 +8,18 @@
 use ksan::prelude::*;
 use proptest::prelude::*;
 
-type Quad = (u64, u64, u64, u64);
+type Fields = (u64, u64, u64, u64, u64, u64);
 
-fn metrics((requests, routing, rotations, links_changed): Quad) -> Metrics {
+fn metrics(
+    (requests, routing, rotations, links_changed, rebuild_patches, rebuild_patched_nodes): Fields,
+) -> Metrics {
     Metrics {
         requests,
         routing,
         rotations,
         links_changed,
+        rebuild_patches,
+        rebuild_patched_nodes,
     }
 }
 
@@ -26,22 +30,22 @@ fn merged(a: &Metrics, b: &Metrics) -> Metrics {
 }
 
 /// Field values capped so chains of merges can never overflow u64.
-fn arb_quad() -> impl Strategy<Value = Quad> {
+fn arb_fields() -> impl Strategy<Value = Fields> {
     let f = 0u64..1 << 40;
-    (f.clone(), f.clone(), f.clone(), f)
+    (f.clone(), f.clone(), f.clone(), f.clone(), f.clone(), f)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn merge_is_commutative(a in arb_quad(), b in arb_quad()) {
+    fn merge_is_commutative(a in arb_fields(), b in arb_fields()) {
         let (a, b) = (metrics(a), metrics(b));
         prop_assert_eq!(merged(&a, &b), merged(&b, &a));
     }
 
     #[test]
-    fn merge_is_associative(a in arb_quad(), b in arb_quad(), c in arb_quad()) {
+    fn merge_is_associative(a in arb_fields(), b in arb_fields(), c in arb_fields()) {
         let (a, b, c) = (metrics(a), metrics(b), metrics(c));
         prop_assert_eq!(
             merged(&merged(&a, &b), &c),
@@ -50,7 +54,7 @@ proptest! {
     }
 
     #[test]
-    fn default_is_the_identity(a in arb_quad()) {
+    fn default_is_the_identity(a in arb_fields()) {
         let a = metrics(a);
         prop_assert_eq!(merged(&a, &Metrics::default()), a);
         prop_assert_eq!(merged(&Metrics::default(), &a), a);
@@ -59,16 +63,20 @@ proptest! {
     #[test]
     fn merging_singletons_equals_sequential_absorb(
         costs in proptest::collection::vec(
-            (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30), 0..40
+            (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30), 0..40
         ),
     ) {
         let costs: Vec<ServeCost> = costs
             .into_iter()
-            .map(|(routing, rotations, links_changed)| ServeCost {
-                routing,
-                rotations,
-                links_changed,
-            })
+            .map(
+                |(routing, rotations, links_changed, rebuild_patches, rebuild_nodes)| ServeCost {
+                    routing,
+                    rotations,
+                    links_changed,
+                    rebuild_patches,
+                    rebuild_nodes,
+                },
+            )
             .collect();
         // Sequential accumulation, as the unsharded runner does it.
         let mut sequential = Metrics::default();

@@ -244,6 +244,105 @@ proptest! {
     }
 
     #[test]
+    fn ewma_fixed_point_tracks_f64_reference(
+        half_life in 0u32..=32,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((1u32..=30, 1u32..=30, 1u64..200), 0..12),
+            1..8,
+        ),
+    ) {
+        // The decaying ledger's fixed-point EWMA vs an f64 reference
+        // running the *same* recurrence S ← S·λ + raw with the ledger's
+        // exact fixed-point λ. The only divergence allowed is the floor
+        // rounding of the decay multiply: ≤ 1 fp unit per merge, which a
+        // geometric series bounds at 1/(1−λ) ≈ 1.443·half_life fp units
+        // in steady state.
+        let n = 30usize;
+        let mut d = DecayingDemand::new(n, half_life);
+        let lambda = d.lambda();
+        prop_assert!((0.0..1.0).contains(&lambda));
+        if half_life > 0 {
+            // λ_fp rounds 2^(−1/H) to 2^−16.
+            let ideal = 0.5f64.powf(1.0 / half_life as f64);
+            prop_assert!((lambda - ideal).abs() <= 1.0 / 65536.0);
+        }
+        let tol = (1.5 * half_life.max(1) as f64 + 2.0) / 65536.0;
+        let mut reference: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for epoch in &epochs {
+            let mut raw: std::collections::HashMap<(u32, u32), u64> =
+                std::collections::HashMap::new();
+            for &(u, v, w) in epoch {
+                if u == v {
+                    continue;
+                }
+                d.record_many(u, v, w);
+                *raw.entry((u, v)).or_insert(0) += w;
+                seen.insert((u, v));
+            }
+            d.decay_merge();
+            for r in reference.values_mut() {
+                *r *= lambda;
+            }
+            for (&p, &w) in &raw {
+                *reference.entry(p).or_insert(0.0) += w as f64;
+            }
+            // Bounded rounding error on every pair ever recorded.
+            let mut total_fp_check = 0u64;
+            for &(u, v) in &seen {
+                let fp = d.get_fp(u, v) as f64 / 65536.0;
+                let want = reference.get(&(u, v)).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (fp - want).abs() <= tol,
+                    "pair ({u},{v}): fp {fp} vs reference {want} (tol {tol}, H={half_life})"
+                );
+                total_fp_check += d.get_fp(u, v);
+            }
+            // total()/distinct_pairs() stay consistent with the entries.
+            prop_assert_eq!(d.total_fp(), total_fp_check);
+            let live = seen.iter().filter(|&&(u, v)| d.get_fp(u, v) > 0).count();
+            prop_assert_eq!(d.distinct_pairs(), live);
+        }
+        // Monotone forgetting: an empty-epoch merge never increases any
+        // entry, and with no memory (H = 0) it wipes the ledger.
+        let before: Vec<u64> = seen.iter().map(|&(u, v)| d.get_fp(u, v)).collect();
+        d.decay_merge();
+        for (&(u, v), &b) in seen.iter().zip(&before) {
+            prop_assert!(d.get_fp(u, v) <= b, "pair ({u},{v}) grew under decay");
+            if half_life == 0 {
+                prop_assert_eq!(d.get_fp(u, v), 0);
+            }
+        }
+        // clear() forgets everything at once.
+        d.clear();
+        prop_assert_eq!(d.total_fp(), 0);
+        prop_assert_eq!(d.distinct_pairs(), 0);
+        prop_assert!(d.is_empty());
+    }
+
+    #[test]
+    fn unrefreshed_entries_reach_zero_in_bounded_merges(
+        half_life in 1u32..=16,
+        w in 1u64..1000,
+    ) {
+        // Floor rounding makes every un-refreshed entry strictly decrease,
+        // so memory is bounded: a count of w dies within ~H·log2(w) + H
+        // merges (geometric decay), never lingering forever.
+        let mut d = DecayingDemand::new(10, half_life);
+        d.record_many(1, 2, w);
+        d.decay_merge();
+        let budget = (half_life as u64) * (68 + 4 * w.ilog2() as u64);
+        let mut merges = 0u64;
+        while d.distinct_pairs() > 0 {
+            d.decay_merge();
+            merges += 1;
+            prop_assert!(merges <= budget, "entry for w={w} alive after {merges} merges");
+        }
+        prop_assert_eq!(d.total_fp(), 0);
+    }
+
+    #[test]
     fn dist_tree_distance_is_a_tree_metric(
         n in 2usize..40,
         k in 2usize..=6,

@@ -55,8 +55,7 @@ fn prelude_facade_resolves_all_advertised_items() {
     let mut m: Metrics = Metrics::default();
     m.absorb(ServeCost {
         routing: 1,
-        rotations: 0,
-        links_changed: 0,
+        ..ServeCost::default()
     });
     assert_eq!(m.requests, 1);
     let _key: NodeKey = 1;

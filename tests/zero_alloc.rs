@@ -98,9 +98,14 @@ fn serve_paths_never_allocate() {
     // lookups and must be allocation-free (rebuilds themselves may — and
     // do — allocate by design).
     {
-        let mut net = LazyKaryNet::new(3, n, u64::MAX, |d: &SparseDemand| {
-            ShapeTree::balanced_kary(d.n(), 3)
-        });
+        let mut net = LazyKaryNet::new(
+            3,
+            n,
+            u64::MAX,
+            ksan::core::FullRebuild(|d: &ksan::core::DemandView<'_>| {
+                ShapeTree::balanced_kary(d.n(), 3)
+            }),
+        );
         // Warm pass: every distinct pair enters the ledger once.
         serve_all(&mut net, &trace);
         let pairs_after_warmup = net.epoch_demand().distinct_pairs();
