@@ -1,0 +1,445 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint passes never need a full grammar — only a faithful token
+//! stream (so string/comment contents can't fake code) plus the comment
+//! text itself (so `// SAFETY:` and `// ksan-allow:` annotations can be
+//! matched to the code lines they sit next to). The lexer therefore
+//! handles exactly the lexical features that would otherwise cause false
+//! positives: line and nested block comments, plain/raw/byte string
+//! literals, char literals vs. lifetimes, and numeric literals with
+//! suffixes.
+
+use std::collections::BTreeSet;
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0xFF`, `1.5e3`, `7usize`).
+    Num,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`]/[`TokKind::Char`] this is a
+    /// placeholder (contents are irrelevant to every lint); for raw
+    /// identifiers the `r#` prefix is stripped so `r#type` matches `type`.
+    pub text: String,
+}
+
+/// One comment (line or block) with its covered line range.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (== `start_line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Output of [`lex`]: tokens, comments, and per-line occupancy sets used
+/// for comment-adjacency rules.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Lines covered by at least one comment.
+    pub comment_lines: BTreeSet<u32>,
+    /// Lines carrying at least one code token.
+    pub token_lines: BTreeSet<u32>,
+}
+
+impl Lexed {
+    /// Lines that contain comments but no code — the lines a
+    /// comment-adjacency walk may step over.
+    pub fn is_comment_only(&self, line: u32) -> bool {
+        self.comment_lines.contains(&line) && !self.token_lines.contains(&line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Never fails: unterminated constructs consume
+/// the rest of the input, which is the useful behaviour for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {{
+            out.token_lines.insert($line);
+            out.tokens.push(Tok {
+                line: $line,
+                kind: $kind,
+                text: $text,
+            });
+        }};
+    }
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < cs.len() && cs[i + 1] == '/' {
+            let start = i;
+            while i < cs.len() && cs[i] != '\n' {
+                i += 1;
+            }
+            let text: String = cs[start..i].iter().collect();
+            out.comment_lines.insert(line);
+            out.comments.push(Comment {
+                start_line: line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < cs.len() && cs[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            out.comment_lines.insert(line);
+            i += 2;
+            let mut depth = 1u32;
+            while i < cs.len() && depth > 0 {
+                if cs[i] == '\n' {
+                    line += 1;
+                    out.comment_lines.insert(line);
+                    i += 1;
+                } else if cs[i] == '/' && i + 1 < cs.len() && cs[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && i + 1 < cs.len() && cs[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = cs[start..i.min(cs.len())].iter().collect();
+            out.comments.push(Comment {
+                start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r", r#…#", r#id,
+        // b", br", b'…'. Falls through to plain ident lexing when the
+        // r/b starts an ordinary identifier.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut raw = c == 'r';
+            if c == 'b' && j < cs.len() && cs[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            if c == 'b' && j < cs.len() && cs[j] == '\'' {
+                // Byte literal b'…'.
+                i = lex_char_body(&cs, j + 1, &mut line);
+                push_tok!(TokKind::Char, String::from("b'…'"), line);
+                continue;
+            }
+            if c == 'b' && !raw && j < cs.len() && cs[j] == '"' {
+                // Plain byte string b"…" — same escape rules as "…".
+                let tok_line = line;
+                i = j + 1;
+                while i < cs.len() {
+                    match cs[i] {
+                        '\\' => i += 2,
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push_tok!(TokKind::Str, String::from("b\"…\""), tok_line);
+                continue;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while j < cs.len() && cs[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < cs.len() && cs[j] == '"' {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    let tok_line = line;
+                    j += 1;
+                    'scan: while j < cs.len() {
+                        if cs[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if cs[j] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && j + 1 + h < cs.len() && cs[j + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    push_tok!(TokKind::Str, String::from("r\"…\""), tok_line);
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && j < cs.len() && is_ident_start(cs[j]) {
+                    // Raw identifier r#ident — strip the prefix.
+                    let start = j;
+                    while j < cs.len() && is_ident_continue(cs[j]) {
+                        j += 1;
+                    }
+                    let text: String = cs[start..j].iter().collect();
+                    i = j;
+                    push_tok!(TokKind::Ident, text, line);
+                    continue;
+                }
+            }
+            // Plain identifier starting with r/b.
+            let start = i;
+            let mut j = i + 1;
+            while j < cs.len() && is_ident_continue(cs[j]) {
+                j += 1;
+            }
+            let text: String = cs[start..j].iter().collect();
+            i = j;
+            push_tok!(TokKind::Ident, text, line);
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < cs.len() {
+                match cs[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            push_tok!(TokKind::Str, String::from("\"…\""), tok_line);
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            if i + 1 < cs.len() && is_ident_start(cs[i + 1]) {
+                let start = i + 1;
+                let mut j = i + 2;
+                while j < cs.len() && is_ident_continue(cs[j]) {
+                    j += 1;
+                }
+                if j < cs.len() && cs[j] == '\'' && j == start + 1 {
+                    // Single-char literal like 'a'.
+                    i = j + 1;
+                    push_tok!(TokKind::Char, String::from("'…'"), line);
+                } else {
+                    let text: String = cs[i..j].iter().collect();
+                    i = j;
+                    push_tok!(TokKind::Lifetime, text, line);
+                }
+                continue;
+            }
+            i = lex_char_body(&cs, i + 1, &mut line);
+            push_tok!(TokKind::Char, String::from("'…'"), line);
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < cs.len() {
+                let d = cs[j];
+                if is_ident_continue(d) {
+                    j += 1;
+                } else if d == '.' && j + 1 < cs.len() && cs[j + 1].is_ascii_digit() {
+                    // Fractional part, but not the `..` of a range.
+                    j += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(cs[j - 1], 'e' | 'E')
+                    && !cs[i..j].contains(&'x')
+                {
+                    // Signed exponent (1e-3), never inside hex literals.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = cs[i..j].iter().collect();
+            i = j;
+            push_tok!(TokKind::Num, text, line);
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < cs.len() && is_ident_continue(cs[j]) {
+                j += 1;
+            }
+            let text: String = cs[i..j].iter().collect();
+            i = j;
+            push_tok!(TokKind::Ident, text, line);
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        push_tok!(TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+
+    out
+}
+
+/// Consumes a char/byte-literal body starting just after the opening `'`,
+/// returning the index past the closing `'`.
+fn lex_char_body(cs: &[char], mut j: usize, line: &mut u32) -> usize {
+    if j < cs.len() && cs[j] == '\\' {
+        j += 1;
+        if j < cs.len() && cs[j] == 'u' && j + 1 < cs.len() && cs[j + 1] == '{' {
+            while j < cs.len() && cs[j] != '}' {
+                j += 1;
+            }
+        }
+        j += 1;
+    } else if j < cs.len() {
+        if cs[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    if j < cs.len() && cs[j] == '\'' {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let lx = lex("// unsafe HashMap\n/* format! */ fn f() {}\n");
+        assert_eq!(
+            idents("// unsafe HashMap\n/* format! */ fn f() {}\n"),
+            ["fn", "f"]
+        );
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.is_comment_only(1));
+        assert!(!lx.is_comment_only(2));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* b */ c */ fn g() {}");
+        assert_eq!(lx.tokens[0].text, "fn");
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "unsafe { HashMap }";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"fn fake() {}"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"unsafe";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let lx = lex("for i in 0..10 { let x = 1.5e-3; let h = 0xFF; }");
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xFF"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* one\ntwo */\nfn f() {\n    g();\n}\n";
+        let lx = lex(src);
+        let g = lx.tokens.iter().find(|t| t.text == "g").map(|t| t.line);
+        assert_eq!(g, Some(4));
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+
+//! # kst-analyze — workspace static analysis for the ksan contracts
+//!
+//! Every guarantee this workspace rests on — the allocation-free serve
+//! hot path (runtime-checked by `kst_core::alloc_probe`), the
+//! move-for-move differential oracles, and the engine's threaded ≡
+//! sequential bit-identity — is a *source* property that the runtime
+//! checks can only sample. This crate enforces them at build time with a
+//! dependency-free, hand-rolled lexer and four lints (see
+//! [`lints::REGISTRY`]):
+//!
+//! * [`lints::no_alloc`] — call-graph reachability from the hot-path
+//!   roots to allocating APIs;
+//! * [`lints::determinism`] — hash-order iteration and wall-clock reads
+//!   in cost-feeding code;
+//! * [`lints::unsafe_hygiene`] — `// SAFETY:` comments plus
+//!   `#![forbid(unsafe_code)]` everywhere but `kst-core`;
+//! * [`lints::panic_surface`] — `unwrap`/`expect` and computed `as
+//!   usize` index casts in library code.
+//!
+//! Findings are machine-readable (`file:line: [lint-id] message`, or one
+//! JSON object per line with `--format json`). A site is suppressed with
+//! an adjacent `// ksan-allow: <lint-id> <reason>` comment; the reason
+//! is mandatory and unknown lint ids are themselves findings.
+//!
+//! Run as `cargo run -p kst-analyze --release -- --workspace`; the CI
+//! `analyze` job and the `self_clean` integration test both gate on a
+//! clean (empty) finding set.
+
+pub mod lexer;
+pub mod lints;
+pub mod parse;
+pub mod report;
+
+pub use lints::{run_all, LintInfo, REGISTRY};
+pub use parse::{FileClass, Model};
+pub use report::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Analyzes the workspace rooted at `root`; returns canonicalized,
+/// suppression-filtered findings (empty = pass).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let model = Model::load_workspace(root)?;
+    Ok(run_all(&model))
+}
+
+/// Finds the workspace root at or above `start` (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,105 @@
+//! The lint registry and the shared suppression-filtering driver.
+
+pub mod determinism;
+pub mod no_alloc;
+pub mod panic_surface;
+pub mod unsafe_hygiene;
+
+use crate::parse::Model;
+use crate::report::{canonicalize, Finding};
+
+/// Registry entry: one lint id plus what it enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Stable id, used in findings and `ksan-allow:` suppressions.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every lint the analyzer ships, including the meta-lint guarding the
+/// suppression mechanism itself.
+pub const REGISTRY: &[LintInfo] = &[
+    LintInfo {
+        id: no_alloc::ID,
+        summary: "hot-path call graph must not reach allocating APIs \
+                  (complements the runtime alloc_probe counters)",
+    },
+    LintInfo {
+        id: determinism::ID,
+        summary: "no HashMap/HashSet iteration or wall-clock reads in code \
+                  feeding ServeCost/Metrics/edge lists",
+    },
+    LintInfo {
+        id: unsafe_hygiene::ID,
+        summary: "every `unsafe` needs an adjacent // SAFETY: comment; every \
+                  crate but kst-core must #![forbid(unsafe_code)]",
+    },
+    LintInfo {
+        id: panic_surface::ID,
+        summary: "no unwrap()/expect() or arithmetic `as usize` index casts \
+                  in library code",
+    },
+    LintInfo {
+        id: BAD_SUPPRESSION,
+        summary: "ksan-allow comments must name a known lint and give a reason",
+    },
+];
+
+/// Id of the suppression meta-lint.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Runs every lint over the model, applies `ksan-allow` suppressions,
+/// validates the suppressions themselves, and returns canonicalized
+/// findings. An empty result is the pass condition.
+pub fn run_all(model: &Model) -> Vec<Finding> {
+    let mut raw: Vec<Finding> = Vec::new();
+    no_alloc::run(model, &mut raw);
+    determinism::run(model, &mut raw);
+    unsafe_hygiene::run(model, &mut raw);
+    panic_surface::run(model, &mut raw);
+
+    // Per-site suppression: drop findings covered by an adjacent
+    // allow comment (lint id plus mandatory reason). The no-alloc pass
+    // already consulted suppressions during traversal (they prune the
+    // call graph), but filtering here keeps every lint honest under one
+    // rule.
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let file = model.files.iter().find(|s| s.rel == f.file);
+            match file {
+                Some(s) => !s.allowed(f.lint, f.line),
+                None => true,
+            }
+        })
+        .collect();
+
+    // The suppression mechanism itself is linted: unknown lint ids and
+    // reason-less allows are findings, so a suppression can never be a
+    // silent hole.
+    for file in &model.files {
+        for a in &file.allows {
+            if !REGISTRY.iter().any(|l| l.id == a.lint) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: a.line_start,
+                    lint: BAD_SUPPRESSION,
+                    message: format!("ksan-allow names unknown lint `{}`", a.lint),
+                });
+            } else if a.reason.is_empty() {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: a.line_start,
+                    lint: BAD_SUPPRESSION,
+                    message: format!(
+                        "ksan-allow for `{}` must state a reason after the lint id",
+                        a.lint
+                    ),
+                });
+            }
+        }
+    }
+
+    canonicalize(findings)
+}

@@ -1,0 +1,226 @@
+//! `no-alloc`: source-level allocation-freedom for the serve hot path.
+//!
+//! Builds a call-graph approximation rooted at the hot-path entry points
+//! (`serve`, `restructure`, `splay_until`, `distance_lca`, and the engine
+//! `worker_loop`) and flags every transitive call to an allocating API.
+//! Resolution is by name — an over-approximation that trades precision
+//! for zero dependencies — so every cold-by-design boundary (epoch
+//! rebuilds, ledger growth) is cut explicitly with a
+//! `// ksan-allow: no-alloc <reason>` at the call site, which both
+//! silences the finding and prunes traversal into the callee.
+//!
+//! This complements the runtime `kst_core::alloc_probe` counters: the
+//! probe proves the paths that *executed* stayed allocation-free; this
+//! pass covers the branches a test run never took.
+
+use crate::parse::{extract_calls, CallEvent, CallKind, FileClass, FnIndex, Model};
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Lint id.
+pub const ID: &str = "no-alloc";
+
+/// Functions whose bodies anchor the hot-path call graph.
+const ROOT_NAMES: &[&str] = &[
+    "serve",
+    "restructure",
+    "splay_until",
+    "distance_lca",
+    "worker_loop",
+];
+
+/// Macros that always allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Methods that allocate unconditionally (or, for `clone`, are a no-op
+/// on `Copy` data and therefore always either wrong or allocating in hot
+/// code).
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "insert",
+    "entry",
+    "reserve",
+    "reserve_exact",
+    "with_capacity",
+];
+
+/// `Type::fn` associated constructors that allocate.
+const ALLOC_QUALIFIED: &[(&str, &str)] = &[
+    ("Box", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("String", "from"),
+    ("Vec", "from"),
+    ("CString", "new"),
+];
+
+/// Methods that grow a container and therefore allocate when the
+/// receiver was never reserved. Only flagged on locals proven unreserved
+/// (`let v = Vec::new()` in the same function) — growth on persistent
+/// scratch is the reserved-arena pattern the runtime probe enforces.
+const GROWTH_METHODS: &[&str] = &["push", "extend", "extend_from_slice", "append"];
+
+fn alloc_violation(ev: &CallEvent) -> Option<String> {
+    match ev.kind {
+        CallKind::Macro if ALLOC_MACROS.contains(&ev.callee.as_str()) => {
+            Some(format!("`{}!` allocates", ev.callee))
+        }
+        CallKind::Method if ALLOC_METHODS.contains(&ev.callee.as_str()) => {
+            Some(format!("`.{}()` allocates", ev.callee))
+        }
+        CallKind::Fn => {
+            if ev.callee == "with_capacity" {
+                return Some("`with_capacity` allocates".to_string());
+            }
+            let q = ev.qualifier.as_deref()?;
+            ALLOC_QUALIFIED
+                .iter()
+                .find(|&&(ty, f)| ty == q && f == ev.callee)
+                .map(|&(ty, f)| format!("`{ty}::{f}` allocates"))
+        }
+        _ => None,
+    }
+}
+
+/// Runs the lint over the model.
+pub fn run(model: &Model, out: &mut Vec<Finding>) {
+    let index = FnIndex::build(model);
+
+    // Per-function call events, with nested fn bodies carved out.
+    let mut calls: BTreeMap<(usize, usize), Vec<CallEvent>> = BTreeMap::new();
+    let mut roots: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        if file.class != FileClass::Core {
+            continue;
+        }
+        for (ni, f) in file.fns.iter().enumerate() {
+            if f.in_test_mod {
+                continue;
+            }
+            let nested: Vec<(usize, usize)> = file
+                .fns
+                .iter()
+                .filter(|g| g.body.0 > f.body.0 && g.body.1 <= f.body.1)
+                .map(|g| g.body)
+                .collect();
+            calls.insert((fi, ni), extract_calls(&file.lx.tokens, f.body, &nested));
+            if ROOT_NAMES.contains(&f.name.as_str()) {
+                roots.push((fi, ni));
+            }
+        }
+    }
+
+    // BFS from the roots; `parent` reconstructs the reach chain for
+    // diagnostics.
+    let mut parent: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+    let mut visited: BTreeSet<(usize, usize)> = roots.iter().copied().collect();
+    let mut queue: VecDeque<(usize, usize)> = roots.into_iter().collect();
+
+    while let Some(key) = queue.pop_front() {
+        let file = &model.files[key.0];
+        let fndef = &file.fns[key.1];
+        let Some(events) = calls.get(&key) else {
+            continue;
+        };
+
+        // Locals grown without a reservation, tracked per function.
+        let unreserved = unreserved_locals(file, fndef.body);
+
+        for ev in events {
+            // A no-alloc allow at the call site both suppresses the
+            // finding and cuts the call graph (cold-by-design boundary).
+            if file.allowed(ID, ev.line) {
+                continue;
+            }
+            if let Some(what) = alloc_violation(ev) {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: ev.line,
+                    lint: ID,
+                    message: format!("{what} on the hot path ({})", chain(model, &parent, key)),
+                });
+                continue;
+            }
+            if ev.kind == CallKind::Method
+                && GROWTH_METHODS.contains(&ev.callee.as_str())
+                && ev
+                    .receiver
+                    .as_deref()
+                    .is_some_and(|r| unreserved.contains(r))
+            {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: ev.line,
+                    lint: ID,
+                    message: format!(
+                        "`.{}()` grows an unreserved local Vec on the hot path ({})",
+                        ev.callee,
+                        chain(model, &parent, key)
+                    ),
+                });
+                continue;
+            }
+            for &next in index.resolve(ev, fndef.qual.as_deref()) {
+                if visited.insert(next) {
+                    parent.insert(next, key);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+}
+
+/// Names of locals initialized as `Vec::new()`/`Vec::default()` inside
+/// the body — growth on these is unreserved allocation.
+fn unreserved_locals(file: &crate::parse::SourceFile, body: (usize, usize)) -> BTreeSet<String> {
+    use crate::lexer::TokKind;
+    let toks = &file.lx.tokens;
+    let mut out = BTreeSet::new();
+    let mut i = body.0;
+    while i + 6 < body.1 {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks[j].kind == TokKind::Ident && toks[j].text == "mut" {
+                j += 1;
+            }
+            if toks[j].kind == TokKind::Ident
+                && j + 5 < body.1
+                && toks[j + 1].kind == TokKind::Punct
+                && toks[j + 1].text == "="
+                && toks[j + 2].text == "Vec"
+                && toks[j + 3].text == ":"
+                && toks[j + 4].text == ":"
+                && (toks[j + 5].text == "new" || toks[j + 5].text == "default")
+            {
+                out.insert(toks[j].text.clone());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Renders the root → ... → fn reach chain for a finding message.
+fn chain(
+    model: &Model,
+    parent: &BTreeMap<(usize, usize), (usize, usize)>,
+    mut key: (usize, usize),
+) -> String {
+    let mut names = vec![model.files[key.0].fns[key.1].display()];
+    while let Some(&p) = parent.get(&key) {
+        names.push(model.files[p.0].fns[p.1].display());
+        key = p;
+    }
+    names.reverse();
+    if names.len() > 6 {
+        let tail = names.split_off(names.len() - 2);
+        names.truncate(2);
+        names.push("…".to_string());
+        names.extend(tail);
+    }
+    format!("reached via {}", names.join(" → "))
+}

@@ -1,0 +1,122 @@
+//! `panic-surface`: library code must not panic on recoverable paths.
+//!
+//! Flags, in `Core` and `Tool` library code (tests, benches, and the
+//! compat/bench harness crates are exempt via the path classes):
+//!
+//! 1. `.unwrap()` / `.expect(...)` calls — invariant-backed uses stay,
+//!    but only behind a `// ksan-allow: panic-surface <invariant>` that
+//!    states why the value can't be `None`/`Err`;
+//! 2. index expressions mixing arithmetic with an `as usize` cast
+//!    (`tab[(key - 1) as usize]`) — the truncating cast hides overflow
+//!    of the *computed* index; hoist the computation onto its own line
+//!    (or a named helper) so the cast is auditable.
+
+use crate::lexer::TokKind;
+use crate::parse::{FileClass, Model};
+use crate::report::Finding;
+
+/// Lint id.
+pub const ID: &str = "panic-surface";
+
+/// Runs the lint over the model.
+pub fn run(model: &Model, out: &mut Vec<Finding>) {
+    for file in &model.files {
+        if file.class != FileClass::Core && file.class != FileClass::Tool {
+            continue;
+        }
+        let toks = &file.lx.tokens;
+
+        // Rule 1: unwrap/expect method calls.
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && !file.in_cfg_test(t.line)
+                && i >= 1
+                && toks[i - 1].kind == TokKind::Punct
+                && toks[i - 1].text == "."
+                && i + 1 < toks.len()
+                && toks[i + 1].kind == TokKind::Punct
+                && toks[i + 1].text == "("
+            {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    lint: ID,
+                    message: format!(
+                        "`.{}()` in library code — return an error or document the \
+                         invariant with a ksan-allow",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // Rule 2: `as usize` + arithmetic inside an index expression.
+        let mut stack: Vec<IndexFrame> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct {
+                // `as usize` inside the innermost index frame.
+                if t.kind == TokKind::Ident
+                    && t.text == "as"
+                    && i + 1 < toks.len()
+                    && toks[i + 1].text == "usize"
+                {
+                    if let Some(f) = stack.last_mut() {
+                        if f.is_index {
+                            f.cast_line = Some(t.line);
+                        }
+                    }
+                }
+                continue;
+            }
+            match t.text.as_str() {
+                "[" => {
+                    let is_index = i >= 1
+                        && ((toks[i - 1].kind == TokKind::Ident && !is_keyword(&toks[i - 1].text))
+                            || (toks[i - 1].kind == TokKind::Punct
+                                && matches!(toks[i - 1].text.as_str(), ")" | "]" | "?")));
+                    stack.push(IndexFrame {
+                        is_index,
+                        cast_line: None,
+                        has_arith: false,
+                    });
+                }
+                "]" => {
+                    if let Some(f) = stack.pop() {
+                        if let (true, Some(line), true) = (f.is_index, f.cast_line, f.has_arith) {
+                            if !file.in_cfg_test(line) {
+                                out.push(Finding {
+                                    file: file.rel.clone(),
+                                    line,
+                                    lint: ID,
+                                    message: "computed `as usize` cast inside an index — \
+                                              hoist the index math so the truncation is auditable"
+                                        .to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+                "+" | "-" | "*" | "/" | "%" => {
+                    if let Some(f) = stack.last_mut() {
+                        f.has_arith = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+struct IndexFrame {
+    is_index: bool,
+    cast_line: Option<u32>,
+    has_arith: bool,
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let" | "mut" | "return" | "in" | "if" | "else" | "match" | "as" | "const"
+    )
+}

@@ -1,0 +1,78 @@
+//! `unsafe-hygiene`: unsafe code is quarantined and documented.
+//!
+//! Two rules:
+//!
+//! 1. every `unsafe` keyword (block, fn, impl, trait) must carry an
+//!    adjacent `// SAFETY:` comment — on the same line or in the
+//!    contiguous comment block directly above — explaining why the
+//!    obligation holds;
+//! 2. every crate root except `kst-core` (which hosts the
+//!    `alloc_probe` `GlobalAlloc` impl, the workspace's only sanctioned
+//!    unsafe) must carry `#![forbid(unsafe_code)]`, so new unsafe can't
+//!    appear anywhere else even with a SAFETY comment.
+
+use crate::lexer::TokKind;
+use crate::parse::{FileClass, Model, SourceFile};
+use crate::report::Finding;
+
+/// Lint id.
+pub const ID: &str = "unsafe-hygiene";
+
+/// The one crate allowed to contain unsafe code.
+const UNSAFE_HOST_CRATE: &str = "kst-core";
+
+/// Runs the lint over the model.
+pub fn run(model: &Model, out: &mut Vec<Finding>) {
+    for file in &model.files {
+        if file.class == FileClass::Excluded {
+            continue;
+        }
+        // Rule 2: crate roots outside kst-core must forbid unsafe_code.
+        if file.is_crate_root && file.krate != UNSAFE_HOST_CRATE && !file.has_forbid_unsafe {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: 1,
+                lint: ID,
+                message: format!(
+                    "crate root of `{}` must carry #![forbid(unsafe_code)] \
+                     (only {UNSAFE_HOST_CRATE} hosts unsafe)",
+                    file.krate
+                ),
+            });
+        }
+        // Rule 1: every `unsafe` keyword needs an adjacent SAFETY note.
+        for t in &file.lx.tokens {
+            if t.kind == TokKind::Ident && t.text == "unsafe" && !has_safety_comment(file, t.line) {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    lint: ID,
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// True when a comment containing `SAFETY` sits on `line` or in the
+/// contiguous comment-only block directly above it (same adjacency rule
+/// as `ksan-allow`).
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let hit = |l: u32| {
+        file.lx
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY") && (c.end_line == l || c.start_line == l))
+    };
+    if hit(line) {
+        return true;
+    }
+    let mut j = line.saturating_sub(1);
+    while j >= 1 && file.lx.is_comment_only(j) {
+        if hit(j) {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}

@@ -1,0 +1,115 @@
+#![forbid(unsafe_code)]
+
+//! CLI for the ksan workspace static-analysis pass.
+//!
+//! ```text
+//! kst-analyze --workspace [--root DIR] [--format text|json]
+//! kst-analyze --list-lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings reported, 2 usage/IO error.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    list_lints: bool,
+    root: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        list_lints: false,
+        root: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-lints" => args.list_lints = true,
+            "--root" => match it.next() {
+                Some(p) => args.root = Some(PathBuf::from(p)),
+                None => return Err("--root requires a directory argument".to_string()),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.workspace && !args.list_lints {
+        return Err("nothing to do: pass --workspace (or --list-lints)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("kst-analyze: {e}");
+            eprintln!("usage: kst-analyze --workspace [--root DIR] [--format text|json]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut stdout = std::io::stdout().lock();
+
+    if args.list_lints {
+        for lint in kst_analyze::REGISTRY {
+            let _ = writeln!(stdout, "{:16} {}", lint.id, lint.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| kst_analyze::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("kst-analyze: no workspace root found (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match kst_analyze::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "kst-analyze: failed to read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        let line = if args.json {
+            f.render_json()
+        } else {
+            f.render_text()
+        };
+        let _ = writeln!(stdout, "{line}");
+    }
+    if findings.is_empty() {
+        eprintln!("kst-analyze: clean ({} lints)", kst_analyze::REGISTRY.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("kst-analyze: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

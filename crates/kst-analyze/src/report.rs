@@ -1,0 +1,98 @@
+//! Machine-readable finding format and renderers.
+
+/// One lint finding, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint id from the registry (`no-alloc`, `determinism`, ...).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Canonical single-line text form: `file:line: [lint] message`.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+
+    /// One-object-per-line JSON form for tooling.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            json_escape(self.lint),
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Sorts findings into the canonical (file, line, lint, message) order
+/// and drops exact duplicates (the call-graph pass can reach one site
+/// from several roots).
+pub fn canonicalize(mut findings: Vec<Finding>) -> Vec<Finding> {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_forms() {
+        let f = Finding {
+            file: "crates/kst-core/src/tree.rs".into(),
+            line: 42,
+            lint: "no-alloc",
+            message: "call to `format!` allocates".into(),
+        };
+        assert_eq!(
+            f.render_text(),
+            "crates/kst-core/src/tree.rs:42: [no-alloc] call to `format!` allocates"
+        );
+        assert_eq!(
+            f.render_json(),
+            "{\"file\":\"crates/kst-core/src/tree.rs\",\"line\":42,\"lint\":\"no-alloc\",\"message\":\"call to `format!` allocates\"}"
+        );
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let mk = |line| Finding {
+            file: "a.rs".into(),
+            line,
+            lint: "determinism",
+            message: "m".into(),
+        };
+        let out = canonicalize(vec![mk(9), mk(3), mk(9)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 3);
+    }
+}

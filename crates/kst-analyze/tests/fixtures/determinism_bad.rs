@@ -1,0 +1,21 @@
+//! Known-bad fixture: hash-order iteration feeding a result, plus a
+//! wall-clock read in cost-accounting code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Demand {
+    counts: HashMap<u64, u64>,
+}
+
+impl Demand {
+    pub fn edge_list(&self) -> Vec<(u64, u64)> {
+        let started = Instant::now();
+        let mut out = Vec::new();
+        for (k, c) in self.counts.iter() {
+            out.push((*k, *c));
+        }
+        let _ = started;
+        out
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-good fixture: ordered iteration via BTreeMap, plus a
+//! commutative fold over a hash map suppressed with a documented allow.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Demand {
+    ordered: BTreeMap<u64, u64>,
+    counts: HashMap<u64, u64>,
+}
+
+impl Demand {
+    pub fn sum_ordered(&self) -> u64 {
+        self.ordered.values().sum()
+    }
+
+    pub fn sum_unordered(&self) -> u64 {
+        // ksan-allow: determinism commutative fold, iteration order cannot change the sum
+        self.counts.values().sum()
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

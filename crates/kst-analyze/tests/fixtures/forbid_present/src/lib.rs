@@ -1,0 +1,6 @@
+//! Fixture crate root carrying `#![forbid(unsafe_code)]`.
+#![forbid(unsafe_code)]
+
+pub fn id(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,32 @@
+//! Known-bad fixture: the serve hot path reaches allocating APIs three
+//! different ways — a `format!` in a transitively-called helper, a
+//! `.collect()` behind a method call, and `.push()` growth on an
+//! unreserved local.
+
+pub struct Net {
+    scratch: Vec<u64>,
+}
+
+impl Net {
+    pub fn serve(&mut self, u: u64, v: u64) -> u64 {
+        let label = edge_label(u, v);
+        label.len() as u64 + self.collect_pairs()
+    }
+
+    fn collect_pairs(&self) -> u64 {
+        let pairs: Vec<u64> = self.scratch.iter().copied().collect();
+        pairs.len() as u64
+    }
+}
+
+fn edge_label(u: u64, v: u64) -> String {
+    format!("{u}->{v}")
+}
+
+pub fn restructure(n: usize) -> usize {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i);
+    }
+    out.len()
+}

@@ -1,0 +1,28 @@
+//! Known-good fixture: a zero-alloc serve path with one documented
+//! cold-by-design boundary (the rebuild), cut with a ksan-allow.
+
+pub struct Net {
+    depth: Vec<u32>,
+    traffic: u64,
+}
+
+impl Net {
+    pub fn serve(&mut self, u: usize, v: usize) -> u64 {
+        let d = self.distance_lca(u, v);
+        self.traffic += d;
+        if self.traffic > 100 {
+            // ksan-allow: no-alloc rebuilds are amortized over the epoch and allocate by design
+            self.rebuild();
+            self.traffic = 0;
+        }
+        d
+    }
+
+    pub fn distance_lca(&self, u: usize, v: usize) -> u64 {
+        u64::from(self.depth[u] + self.depth[v])
+    }
+
+    fn rebuild(&mut self) {
+        self.depth = vec![0; self.depth.len()];
+    }
+}

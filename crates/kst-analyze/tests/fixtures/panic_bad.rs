@@ -1,0 +1,8 @@
+//! Known-bad fixture: `unwrap`, `expect`, and a computed `as usize`
+//! cast buried inside an index expression.
+
+pub fn lookup(xs: &[u64], base: u64, off: u64) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("len >= 2");
+    first + second + xs[(base + off) as usize]
+}

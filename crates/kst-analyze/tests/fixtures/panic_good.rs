@@ -1,0 +1,14 @@
+//! Known-good fixture: fallible lookups return Option, index math is
+//! hoisted to a named binding, and the one residual unwrap documents
+//! its invariant with an allow.
+
+pub fn lookup(xs: &[u64], base: u64, off: u64) -> Option<u64> {
+    let first = xs.first()?;
+    let idx = (base + off) as usize;
+    Some(first + xs.get(idx)?)
+}
+
+pub fn root_key(xs: &[u64]) -> u64 {
+    // ksan-allow: panic-surface construction guarantees a non-empty key set
+    xs.first().copied().unwrap()
+}

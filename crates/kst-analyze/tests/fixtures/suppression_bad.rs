@@ -1,0 +1,10 @@
+//! Known-bad fixture for the suppression meta-lint: one allow naming a
+//! lint that does not exist, one allow with no reason.
+
+pub fn f(xs: &[u64]) -> u64 {
+    // ksan-allow: no-such-lint this lint id is not in the registry
+    let a = xs.first().unwrap();
+    // ksan-allow: panic-surface
+    let b = xs.last().unwrap();
+    a + b
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: an `unsafe` block with no adjacent SAFETY comment.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

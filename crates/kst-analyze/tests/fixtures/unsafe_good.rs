@@ -1,0 +1,8 @@
+//! Known-good fixture: the `unsafe` block carries its SAFETY comment.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    debug_assert!(!xs.is_empty());
+    // SAFETY: callers guarantee `xs` is non-empty, so reading the first
+    // element through the raw pointer is in bounds.
+    unsafe { *xs.as_ptr() }
+}
