@@ -10,7 +10,6 @@
 //! `rand` crate, seeded per test from the test's name (override with
 //! `PROPTEST_SEED`).
 
-#![warn(missing_docs)]
 
 use std::fmt;
 

@@ -46,24 +46,38 @@ fn bump() {
 /// ```
 pub struct CountingAlloc;
 
+// SAFETY: every method delegates directly to [`System`], which upholds
+// the `GlobalAlloc` contract; the only extra work is a thread-local
+// counter bump that never allocates, never panics, and never recurses
+// into the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged; the caller's
+        // obligations (non-zero size) are exactly `System`'s.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc_zeroed(layout)
+        // SAFETY: `layout` is forwarded unchanged; the caller's
+        // obligations (non-zero size) are exactly `System`'s.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged, so
+        // the caller's obligation that `ptr` came from this allocator
+        // with `layout` transfers directly to `System`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` are forwarded unchanged, so the
+        // caller's obligation that `ptr` came from this allocator with
+        // `layout` transfers directly to `System`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

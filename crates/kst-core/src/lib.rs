@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # kst-core — self-adjusting k-ary search tree networks
 //!

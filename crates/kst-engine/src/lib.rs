@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # kst-engine — sharded, multi-threaded trace-serving engine
 //!

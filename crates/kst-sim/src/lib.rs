@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # kst-sim — self-adjusting-network simulator and experiment harness
 //!

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # kst-statics — offline static k-ary search tree networks
 //!

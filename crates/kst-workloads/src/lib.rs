@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # kst-workloads — traces, demand matrices, and workload generators
 //!

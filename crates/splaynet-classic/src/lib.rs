@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # splaynet-classic — the original binary SplayNet
 //!

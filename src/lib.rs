@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 
 //! # ksan — self-adjusting k-ary search tree networks
 //!
