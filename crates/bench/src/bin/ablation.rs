@@ -12,6 +12,8 @@
 //! Reports total routing cost, rotations, and links changed per variant
 //! and workload.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_core::{KSplayNet, SplayStrategy, WindowPolicy};
 use kst_sim::run;

@@ -17,6 +17,8 @@
 //! `results/baselines/bench_medians.json` and is hardware-specific —
 //! regenerate it with `write` when the reference machine changes.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -3,6 +3,8 @@
 //! destination entropies. We report cost / bound, which must stay bounded
 //! by a constant across workloads and arities.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_core::KSplayNet;
 use kst_sim::run;

@@ -4,6 +4,8 @@
 //! Usage: `export_traces [out_dir]` (default `results/traces`); respects
 //! `KSAN_REQUESTS` / `KSAN_FACEBOOK_N` / `KSAN_SEED`.
 
+#![forbid(unsafe_code)]
+
 use kst_sim::experiments::{workload, Scale, WORKLOADS};
 use kst_workloads::stats;
 

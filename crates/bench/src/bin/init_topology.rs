@@ -18,6 +18,8 @@
 //! observation that element/identifier placement is where the k-ary
 //! generality lives.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_core::shape::ShapeTree;
 use kst_core::{KSplayNet, KstTree};

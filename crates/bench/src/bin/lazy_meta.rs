@@ -5,6 +5,8 @@
 //! costs separately so the trade-off is visible under any reconfiguration
 //! price.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_core::{KSplayNet, LazyKaryNet};
 use kst_sim::experiments::{

@@ -2,6 +2,8 @@
 //! k-ary tree and the centroid (k+1)-degree tree is n²·log_k n + O(n²),
 //! i.e. `total / (n² log_k n) → 1` with an O(1/log n) correction.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_sim::table::Table;
 use kst_statics::{centroid_tree, full_kary, full_tree::lemma9_leading_term};

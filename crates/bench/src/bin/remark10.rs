@@ -5,6 +5,8 @@
 //! total distance against the O(n²k) DP optimum and against the full k-ary
 //! tree.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::write_report;
 use kst_sim::table::Table;
 use kst_statics::{centroid_tree, full_kary, optimal_uniform_tree};

@@ -10,6 +10,8 @@
 //! `KSAN_SHARDS` keyspace shards (default 4) on the engine's own worker
 //! pool (`KSAN_BATCH` tunes dispatch batching).
 
+#![forbid(unsafe_code)]
+
 use kst_bench::{render_engine_table, render_kary_table, render_table8, write_report, EngineRow};
 use kst_engine::{EngineConfig, ShardedEngine};
 use kst_sim::experiments::{kary_tables, table8_rows, workload, Scale, WORKLOADS};

@@ -2,6 +2,8 @@
 //! SplayNet, the static full binary tree, and the static optimal BST, on
 //! all eight workloads.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::{render_table8, write_report};
 use kst_sim::experiments::{table8_row, Scale, WORKLOADS};
 

@@ -5,6 +5,8 @@
 //! {hpc, projector, facebook, t025, t05, t075, t09, uniform};
 //! default: the seven workloads of Tables 1–7.
 
+#![forbid(unsafe_code)]
+
 use kst_bench::{render_kary_table, write_report};
 use kst_sim::experiments::{kary_table, Scale};
 

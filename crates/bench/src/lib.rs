@@ -16,6 +16,8 @@
 //!
 //! The library part holds shared report plumbing.
 
+#![forbid(unsafe_code)]
+
 use kst_engine::{EngineConfig, EngineReport};
 use kst_sim::experiments::{workload_label, KaryTable, Table8Row};
 use kst_sim::table::{avg, ratio, Table};

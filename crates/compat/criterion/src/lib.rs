@@ -11,6 +11,7 @@
 //! HTML reports. Tune the per-benchmark budget with
 //! `KSAN_BENCH_MEASURE_MS` (default 300).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -11,6 +11,8 @@
 //! `PROPTEST_SEED`).
 
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub mod strategy;

@@ -10,6 +10,8 @@
 //! from the real crate; none in this workspace do.
 
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of random 64-bit words.

@@ -2,10 +2,13 @@
 //!
 //! Two rules:
 //!
-//! 1. every `unsafe` keyword (block, fn, impl, trait) must carry an
-//!    adjacent `// SAFETY:` comment — on the same line or in the
-//!    contiguous comment block directly above — explaining why the
-//!    obligation holds;
+//! 1. every `unsafe` block or `unsafe impl` must carry an adjacent
+//!    `// SAFETY:` comment — on the same line or in the contiguous
+//!    comment block directly above — explaining why the obligation
+//!    holds. `unsafe fn` signatures are exempt: they *declare*
+//!    obligations (the trait dictates them), and with
+//!    `unsafe_op_in_unsafe_fn` denied their bodies still need
+//!    documented `unsafe {}` blocks;
 //! 2. every crate root except `kst-core` (which hosts the
 //!    `alloc_probe` `GlobalAlloc` impl, the workspace's only sanctioned
 //!    unsafe) must carry `#![forbid(unsafe_code)]`, so new unsafe can't
@@ -40,9 +43,21 @@ pub fn run(model: &Model, out: &mut Vec<Finding>) {
                 ),
             });
         }
-        // Rule 1: every `unsafe` keyword needs an adjacent SAFETY note.
-        for t in &file.lx.tokens {
-            if t.kind == TokKind::Ident && t.text == "unsafe" && !has_safety_comment(file, t.line) {
+        // Rule 1: every `unsafe` block/impl needs an adjacent SAFETY
+        // note. `unsafe fn` signatures declare obligations rather than
+        // discharge them, so they are exempt (their bodies still carry
+        // documented `unsafe {}` blocks under unsafe_op_in_unsafe_fn).
+        for (i, t) in file.lx.tokens.iter().enumerate() {
+            let next_is_fn = file
+                .lx
+                .tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text == "fn");
+            if t.kind == TokKind::Ident
+                && t.text == "unsafe"
+                && !next_is_fn
+                && !has_safety_comment(file, t.line)
+            {
                 out.push(Finding {
                     file: file.rel.clone(),
                     line: t.line,

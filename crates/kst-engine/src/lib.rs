@@ -36,6 +36,8 @@
 //!
 //! [`Metrics::merge`]: kst_sim::Metrics::merge
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod shard;
 

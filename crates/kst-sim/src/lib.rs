@@ -11,6 +11,8 @@
 //!   tests);
 //! * [`table`] — report formatting in the paper's table style.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod metrics;
 pub mod par;

@@ -15,6 +15,8 @@
 //!   [`eval::StaticNet`]);
 //! * [`brute`] — exponential ground-truth enumeration for tests.
 
+#![forbid(unsafe_code)]
+
 pub mod brute;
 pub mod centroid;
 pub mod dp_general;

@@ -16,6 +16,8 @@
 //! * [`mod@stats`] — temporal/spatial locality measures used to verify that
 //!   simulated traces land in the regime the paper describes.
 
+#![forbid(unsafe_code)]
+
 pub mod decay;
 pub mod demand;
 pub mod gens;

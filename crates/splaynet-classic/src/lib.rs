@@ -18,6 +18,8 @@
 //!   `kst-core` must reproduce these classic rotations move-for-move at
 //!   k = 2 (see `tests/differential_k2.rs` at the workspace root).
 
+#![forbid(unsafe_code)]
+
 use kst_core::net::{Network, ServeCost};
 use kst_core::shape::ShapeTree;
 use kst_core::NodeKey;

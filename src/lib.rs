@@ -33,6 +33,8 @@
 //! assert!(metrics.routing > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use kst_core as core;
 pub use kst_engine as engine;
 pub use kst_sim as sim;
