@@ -10,7 +10,6 @@
 //! `rand` crate, seeded per test from the test's name (override with
 //! `PROPTEST_SEED`).
 
-
 #![forbid(unsafe_code)]
 
 use std::fmt;

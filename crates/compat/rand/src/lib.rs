@@ -9,7 +9,6 @@
 //! `StdRng` (ChaCha12), which only matters if a test hard-codes values
 //! from the real crate; none in this workspace do.
 
-
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};

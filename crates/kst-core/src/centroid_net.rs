@@ -169,9 +169,15 @@ impl KPlusOneSplayNet {
         self.tree.key_of(self.c2)
     }
 
+    /// Slot of a 1-based node key in the membership table.
+    #[inline]
+    fn member_slot(key: NodeKey) -> usize {
+        (key - 1) as usize
+    }
+
     /// Membership of a node key.
     pub fn membership(&self, key: NodeKey) -> Membership {
-        match self.member[(key - 1) as usize] {
+        match self.member[Self::member_slot(key)] {
             M_C1 => Membership::C1,
             M_C2 => Membership::C2,
             s => Membership::Subtree(s),
@@ -215,8 +221,8 @@ impl Network for KPlusOneSplayNet {
         // Routing charge and LCA from a single pointer chase; the LCA is
         // only consumed on the same-subtree path below.
         let (routing, w) = self.tree.distance_lca(nu, nv);
-        let mu = self.member[(u - 1) as usize];
-        let mv = self.member[(v - 1) as usize];
+        let mu = self.member[Self::member_slot(u)];
+        let mv = self.member[Self::member_slot(v)];
         let mut stats = SplayStats::default();
         if mu == mv && mu != M_C1 && mu != M_C2 {
             // Same subtree: exactly the k-ary SplayNet discipline, confined

@@ -1,4 +1,3 @@
-
 //! # kst-core — self-adjusting k-ary search tree networks
 //!
 //! Core library reproducing the primary contribution of *Toward

@@ -87,6 +87,7 @@ pub fn route(t: &KstTree, src: NodeKey, dst: NodeKey) -> Result<RouteTrace, Rout
 
 /// Convenience: greedy route length, panicking on loops (for tests/benches).
 pub fn route_len(t: &KstTree, src: NodeKey, dst: NodeKey) -> u64 {
+    // ksan-allow: panic-surface documented panicking convenience wrapper; fallible callers use route() directly
     route(t, src, dst).expect("greedy routing looped").len()
 }
 

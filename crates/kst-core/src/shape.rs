@@ -142,6 +142,7 @@ impl ShapeTree {
         let mut stack: Vec<(u32, usize)> = vec![(self.root, 0)];
         while let Some(&(v, ci)) = stack.last() {
             if ci < self.children[v as usize].len() {
+                // ksan-allow: panic-surface the while-let guard just yielded this top-of-stack entry
                 stack.last_mut().unwrap().1 += 1;
                 stack.push((self.children[v as usize][ci], 0));
             } else {
@@ -180,6 +181,7 @@ impl ShapeTree {
                 }
             }
             if pos < cs.len() {
+                // ksan-allow: panic-surface the while-let guard just yielded this top-of-stack entry
                 stack.last_mut().unwrap().1 += 1;
                 stack.push((cs[pos], 0));
             } else {

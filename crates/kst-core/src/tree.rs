@@ -115,6 +115,7 @@ impl KstTree {
         );
         shape
             .validate(k)
+            // ksan-allow: panic-surface constructor contract — an invalid shape is a caller bug and validate carries the diagnostic
             .expect("shape incompatible with requested arity");
         let mut t = KstTree {
             k,
@@ -383,6 +384,7 @@ impl KstTree {
         );
         fragment
             .validate(k)
+            // ksan-allow: panic-surface patch contract — an invalid fragment is a caller bug and validate carries the diagnostic
             .expect("fragment incompatible with requested arity");
         // 1. Locate the range root by descending from the tree root while
         //    maintaining the exact enclosing gap: as long as the current
@@ -578,6 +580,7 @@ impl KstTree {
         self.children(parent)
             .iter()
             .position(|&c| c == child)
+            // ksan-allow: panic-surface structural invariant — callers pass a (parent, child) edge read from the tree itself
             .expect("child not attached to parent")
     }
 

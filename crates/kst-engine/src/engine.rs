@@ -316,6 +316,7 @@ impl<N: Network + Send> ShardedEngine<N> {
             .collect();
         let mut worker_nets: Vec<Vec<N>> = (0..workers).map(|_| Vec::new()).collect();
         for (s, slot) in parked.iter_mut().enumerate() {
+            // ksan-allow: panic-surface each shard slot is taken exactly once by this distribution loop
             worker_nets[s % workers].push(slot.take().expect("net moved twice"));
         }
 
@@ -342,6 +343,7 @@ impl<N: Network + Send> ShardedEngine<N> {
                 buffers[w].push(op);
                 if buffers[w].len() == batch {
                     let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(batch));
+                    // ksan-allow: panic-surface a closed queue means the scoped worker panicked; propagating is correct
                     senders[w].send(full).expect("engine worker hung up");
                 }
             };
@@ -391,12 +393,14 @@ impl<N: Network + Send> ShardedEngine<N> {
             }
             for (w, buf) in buffers.into_iter().enumerate() {
                 if !buf.is_empty() {
+                    // ksan-allow: panic-surface a closed queue means the scoped worker panicked; propagating is correct
                     senders[w].send(buf).expect("engine worker hung up");
                 }
             }
             drop(senders); // close the queues: workers drain and return
 
             for (w, handle) in handles.into_iter().enumerate() {
+                // ksan-allow: panic-surface join fails only if the worker panicked; re-panicking propagates it
                 let results = handle.join().expect("engine worker panicked");
                 for (i, (net, intra, half)) in results.into_iter().enumerate() {
                     let s = i * workers + w; // inverse of the s % workers layout
@@ -409,6 +413,7 @@ impl<N: Network + Send> ShardedEngine<N> {
 
         self.nets = parked
             .into_iter()
+            // ksan-allow: panic-surface every worker that joined cleanly has repopulated its slots
             .map(|slot| slot.expect("worker failed to return a shard net"))
             .collect();
 

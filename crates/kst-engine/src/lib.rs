@@ -1,4 +1,3 @@
-
 //! # kst-engine — sharded, multi-threaded trace-serving engine
 //!
 //! The layer between the self-adjusting trees of `kst-core` and the

@@ -172,6 +172,7 @@ fn kary_cell(trace: &Trace, demand: &DemandMatrix, k: usize, scale: &Scale) -> K
 pub fn kary_table(name: &str, scale: &Scale) -> KaryTable {
     kary_tables(&[name], scale)
         .pop()
+        // ksan-allow: panic-surface kary_tables returns exactly one table per requested workload
         .expect("one workload in, one table out")
 }
 

@@ -1,4 +1,3 @@
-
 //! # kst-sim — self-adjusting-network simulator and experiment harness
 //!
 //! Implements the paper's cost model (Section 2) and evaluation machinery

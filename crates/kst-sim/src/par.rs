@@ -34,8 +34,10 @@ where
                 if i >= n {
                     break;
                 }
+                // ksan-allow: panic-surface lock poisoning or a double-take both mean a sibling worker panicked; propagate
                 let item = slots[i].lock().unwrap().take().expect("item taken twice");
                 let r = f(item);
+                // ksan-allow: panic-surface lock poisoning means a sibling worker panicked; propagate
                 *results[i].lock().unwrap() = Some(r);
             });
         }
@@ -44,7 +46,9 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
+                // ksan-allow: panic-surface the scope guarantees workers finished; a poisoned slot means one panicked
                 .unwrap()
+                // ksan-allow: panic-surface an empty slot after the scope joined means a worker panicked; propagate
                 .expect("worker died before finishing")
         })
         .collect()

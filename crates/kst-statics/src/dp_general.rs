@@ -187,7 +187,8 @@ fn rebuild_tree(
         if t == 0 {
             return INF;
         }
-        b[t.min(planes)][(j_incl as usize) * n + i]
+        let col = (j_incl as usize) * n + i;
+        b[t.min(planes)][col]
     };
     let target = c[i * n + j] - w[i * n + j];
     // find the root and split achieving the optimum

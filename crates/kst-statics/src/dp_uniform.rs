@@ -101,6 +101,7 @@ fn rebuild(shape: &mut ShapeTree, c: &[u64], p: &[Vec<u64>], k: usize, l: usize)
             let rest = if a == s { 0 } else { p[t - 1][s - a] };
             c[a].saturating_add(rest) == p[t][s]
         });
+        // ksan-allow: panic-surface the DP table was just computed, so some split must reproduce its optimum
         let a = pick.expect("uniform DP reconstruction failed");
         sizes.push(a);
         if a == s {

@@ -1,4 +1,3 @@
-
 //! # kst-statics — offline static k-ary search tree networks
 //!
 //! The paper's Section 3 (+ Appendices A–B):

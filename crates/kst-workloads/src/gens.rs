@@ -207,6 +207,7 @@ pub fn projector(n: usize, m: usize, seed: u64) -> Trace {
         }
     }
     let cdf = cumsum(&weights);
+    // ksan-allow: panic-surface cumsum of the nonempty weight vector is nonempty
     let total = *cdf.last().unwrap();
     let mut reqs: Vec<(NodeKey, NodeKey)> = Vec::with_capacity(m);
     let repeat_p = 0.08;
@@ -238,6 +239,7 @@ pub fn facebook(n: usize, m: usize, seed: u64) -> Trace {
     let repeat_p = 0.05;
     while reqs.len() < m {
         if !reqs.is_empty() && rng.gen::<f64>() < repeat_p {
+            // ksan-allow: panic-surface guarded by the is_empty check on this branch
             reqs.push(*reqs.last().unwrap());
             continue;
         }
@@ -436,6 +438,7 @@ impl ZipfSampler {
 
     /// Draws a rank in `0..n` (rank 0 most popular).
     pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // ksan-allow: panic-surface the sampler is always constructed over a nonempty key set
         let total = *self.cdf.last().unwrap();
         let x = rng.gen::<f64>() * total;
         self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)

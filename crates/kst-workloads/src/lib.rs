@@ -1,4 +1,3 @@
-
 //! # kst-workloads — traces, demand matrices, and workload generators
 //!
 //! Implements the workload side of the paper's evaluation (Section 5):

@@ -40,8 +40,9 @@ pub fn stats(trace: &Trace) -> TraceStats {
     let mut repeats = 0u64;
     let mut prev: Option<(u32, u32)> = None;
     for &(u, v) in trace.requests() {
-        src[u as usize - 1] += 1;
-        dst[v as usize - 1] += 1;
+        let (ui, vi) = (u as usize - 1, v as usize - 1);
+        src[ui] += 1;
+        dst[vi] += 1;
         *pairs.entry((u, v)).or_insert(0) += 1;
         if prev == Some((u, v)) {
             repeats += 1;
@@ -94,8 +95,9 @@ pub fn entropy_bound_rhs(trace: &Trace) -> f64 {
     let mut a = vec![0u64; n];
     let mut b = vec![0u64; n];
     for &(u, v) in trace.requests() {
-        a[u as usize - 1] += 1;
-        b[v as usize - 1] += 1;
+        let (ui, vi) = (u as usize - 1, v as usize - 1);
+        a[ui] += 1;
+        b[vi] += 1;
     }
     let term = |c: u64| {
         if c == 0 {

@@ -328,7 +328,8 @@ impl DemandMatrix {
     pub fn from_trace(trace: &Trace) -> DemandMatrix {
         let mut m = DemandMatrix::zeros(trace.n());
         for &(u, v) in trace.requests() {
-            m.d[(u as usize - 1) * m.n + (v as usize - 1)] += 1;
+            let s = m.slot(u, v);
+            m.d[s] += 1;
         }
         m
     }
@@ -371,7 +372,8 @@ impl DemandMatrix {
             // Same invariant every other constructor enforces — record()
             // only debug-asserts it, so re-check here in release too.
             assert_ne!(u, v, "diagonal must be zero (self-demand ({u},{u}))");
-            m.d[(u as usize - 1) * m.n + (v as usize - 1)] = c;
+            let s = m.slot(u, v);
+            m.d[s] = c;
         }
         m
     }
@@ -393,15 +395,22 @@ impl DemandMatrix {
         self.n
     }
 
+    /// Row-major slot of the 1-based key pair `(u, v)`.
+    #[inline]
+    fn slot(&self, u: NodeKey, v: NodeKey) -> usize {
+        (u as usize - 1) * self.n + (v as usize - 1)
+    }
+
     /// Demand from key `u` to key `v` (1-based keys).
     pub fn get(&self, u: NodeKey, v: NodeKey) -> u64 {
-        self.d[(u as usize - 1) * self.n + (v as usize - 1)]
+        self.d[self.slot(u, v)]
     }
 
     /// Adds `w` requests from `u` to `v` (1-based keys).
     pub fn add(&mut self, u: NodeKey, v: NodeKey, w: u64) {
         assert!(u != v);
-        self.d[(u as usize - 1) * self.n + (v as usize - 1)] += w;
+        let s = self.slot(u, v);
+        self.d[s] += w;
     }
 
     /// Demand between 0-based indices (row-major access for hot loops).

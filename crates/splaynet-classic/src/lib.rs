@@ -1,4 +1,3 @@
-
 //! # splaynet-classic — the original binary SplayNet
 //!
 //! Independent implementation of SplayNet (Schmid, Avin, Scheideler,
@@ -247,6 +246,7 @@ impl ClassicSplayNet {
                 stack.push(cur);
                 cur = self.left[cur as usize];
             }
+            // ksan-allow: panic-surface the outer loop condition guarantees the stack is non-empty here
             let v = stack.pop().unwrap();
             out.push(v + 1);
             cur = self.right[v as usize];

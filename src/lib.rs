@@ -1,4 +1,3 @@
-
 //! # ksan — self-adjusting k-ary search tree networks
 //!
 //! Facade crate re-exporting the whole workspace: a production-quality
