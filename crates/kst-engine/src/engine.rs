@@ -443,7 +443,9 @@ fn worker_loop<N: Network>(
     rx: mpsc::Receiver<Vec<Op>>,
     workers: usize,
 ) -> Vec<(N, Metrics, ServeCost)> {
+    // ksan-allow: no-alloc per-run tally setup, once per worker thread before any request is served
     let mut intra = vec![Metrics::default(); nets.len()];
+    // ksan-allow: no-alloc per-run tally setup, once per worker thread before any request is served
     let mut half = vec![ServeCost::default(); nets.len()];
     while let Ok(ops) = rx.recv() {
         for op in ops {
@@ -460,6 +462,7 @@ fn worker_loop<N: Network>(
         .zip(intra)
         .zip(half)
         .map(|((n, m), h)| (n, m, h))
+        // ksan-allow: no-alloc per-run teardown, once per worker thread after the queue closes
         .collect()
 }
 

@@ -52,6 +52,7 @@ pub fn timed_run<N: Network + Send>(
     engine: &mut ShardedEngine<N>,
     trace: &Trace,
 ) -> (EngineReport, std::time::Duration) {
+    // ksan-allow: determinism wall-clock throughput probe; the duration never feeds ServeCost or Metrics
     let start = std::time::Instant::now();
     let report = engine.run_trace(trace);
     (report, start.elapsed())

@@ -186,6 +186,7 @@ impl DecayingDemand {
         if lam == 0 {
             self.smoothed.clear();
         } else {
+            // ksan-allow: determinism per-entry decay plus a commutative total; visit order cannot change the result
             self.smoothed.retain(|_, v| {
                 *v = ((*v as u128 * lam as u128) >> FRAC) as u64;
                 total += *v;
@@ -218,6 +219,7 @@ impl DecayingDemand {
     pub fn pairs_sorted(&self) -> Vec<(NodeKey, NodeKey, u64)> {
         let mut pairs: Vec<(NodeKey, NodeKey, u64)> = self
             .smoothed
+            // ksan-allow: determinism collected fully and sorted canonically below
             .iter()
             .filter_map(|(&p, &fp)| {
                 let c = round_fp(fp);
@@ -237,12 +239,14 @@ impl DecayingDemand {
     /// this equals `SparseDemand::key_weights` of the last epoch exactly.
     pub fn key_weights(&self) -> Vec<(NodeKey, u64)> {
         let mut w: HashMap<NodeKey, u64> = HashMap::with_capacity(self.smoothed.len());
+        // ksan-allow: determinism commutative accumulation; the result is sorted by key below
         for (&p, &fp) in &self.smoothed {
             let (u, v) = unpack(p);
             *w.entry(u).or_insert(0) += fp;
             *w.entry(v).or_insert(0) += fp;
         }
         let mut out: Vec<(NodeKey, u64)> = w
+            // ksan-allow: determinism collected fully and sorted by key below
             .into_iter()
             .filter_map(|(key, fp)| {
                 let c = round_fp(fp);
@@ -283,6 +287,7 @@ impl DecayingDemand {
         // Keys whose weight decayed all the way to zero still differ from
         // a nonzero baseline (membership via binary search on the sorted
         // weights — no per-trigger HashSet build).
+        // ksan-allow: determinism dirty keys are sorted immediately below, erasing visit order
         for (&key, &base) in &self.planned {
             if base > 2 && kw.binary_search_by_key(&key, |e| e.0).is_err() {
                 dirty.push((key, base));
@@ -329,6 +334,7 @@ impl DecayingDemand {
             let i = ranges.partition_point(|&(_, hi)| hi < key);
             i < ranges.len() && ranges[i].0 <= key
         };
+        // ksan-allow: determinism per-key membership predicate; the surviving set is order-independent
         self.planned.retain(|&key, _| !in_ranges(key));
         for &(key, w) in key_weights {
             if in_ranges(key) {

@@ -119,6 +119,7 @@ impl SparseDemand {
     /// Anything whose output depends on visit order must use
     /// [`SparseDemand::pairs_sorted`] instead.
     pub fn pairs_unsorted(&self) -> impl Iterator<Item = (NodeKey, NodeKey, u64)> + '_ {
+        // ksan-allow: determinism documented contract — commutative-fold consumers only; ordered consumers use pairs_sorted
         self.counts.iter().map(|(&p, &c)| {
             let (u, v) = unpack(p);
             (u, v, c)
@@ -139,11 +140,13 @@ impl SparseDemand {
     /// This is the input of the weight-balanced rebuild policy.
     pub fn key_weights(&self) -> Vec<(NodeKey, u64)> {
         let mut w: HashMap<NodeKey, u64> = HashMap::with_capacity(self.counts.len());
+        // ksan-allow: determinism commutative accumulation; the result is sorted by key below
         for (&p, &c) in &self.counts {
             let (u, v) = unpack(p);
             *w.entry(u).or_insert(0) += c;
             *w.entry(v).or_insert(0) += c;
         }
+        // ksan-allow: determinism collected fully and sorted by key below
         let mut out: Vec<(NodeKey, u64)> = w.into_iter().collect();
         out.sort_unstable_by_key(|&(k, _)| k);
         out

@@ -49,6 +49,7 @@ pub fn stats(trace: &Trace) -> TraceStats {
         }
         prev = Some((u, v));
     }
+    // ksan-allow: determinism max over values; visit order cannot change the result
     let top = pairs.values().copied().max().unwrap_or(0);
     TraceStats {
         repeat_rate: if m > 1 {
@@ -58,6 +59,7 @@ pub fn stats(trace: &Trace) -> TraceStats {
         },
         src_entropy: entropy(&src, m as u64),
         dst_entropy: entropy(&dst, m as u64),
+        // ksan-allow: determinism entropy is a commutative sum over counts
         pair_entropy: entropy_iter(pairs.values().copied(), m as u64),
         distinct_pairs: pairs.len(),
         top_pair_share: if m > 0 { top as f64 / m as f64 } else { 0.0 },

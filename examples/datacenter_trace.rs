@@ -6,6 +6,9 @@
 //! cargo run --release --example datacenter_trace
 //! ```
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::prelude::*;
 use ksan::sim::table::Table;
 use ksan::workloads::stats;

@@ -6,6 +6,9 @@
 //! cargo run --release --example local_routing
 //! ```
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::core::routing;
 use ksan::prelude::*;
 

@@ -7,6 +7,9 @@
 //! cargo run --release --example offline_optimizer
 //! ```
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::prelude::*;
 use ksan::sim::table::Table;
 use ksan::statics::optimal_uniform_tree;

@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::core::viz;
 use ksan::prelude::*;
 

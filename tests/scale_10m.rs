@@ -18,6 +18,9 @@
 //! while still catching per-node boxing or any scheme that materializes
 //! all construction transients at once.
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::engine::{EngineConfig, EngineReport, ShardedEngine};
 use ksan::prelude::*;
 

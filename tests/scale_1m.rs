@@ -18,6 +18,9 @@
 //! blow-up (per-node heap boxing at this scale costs hundreds of MB
 //! immediately).
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::prelude::*;
 
 const N: usize = 1_000_000;

@@ -20,6 +20,9 @@
 //! the exercise — a few thousand distinct pairs, well under 1 MB, versus
 //! the 8 TB a dense matrix would demand.
 
+// Demo/report output is this target's purpose; the workspace denies stdout printing in library code only.
+#![allow(clippy::print_stdout)]
+
 use ksan::core::lazy::weight_balanced_rebuilder;
 use ksan::core::LazyKaryNet;
 use ksan::engine::{EngineConfig, ShardedEngine};
