@@ -1,0 +1,32 @@
+//! The analyzer's standing guarantee: the workspace it lives in has zero
+//! findings. Any hot-path allocation, nondeterministic iteration,
+//! undocumented unsafe block, or new panic surface that lands without a
+//! reasoned `ksan-allow` breaks this test — the same gate CI applies by
+//! running the binary, but reachable from `cargo test`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/kst-analyze sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected workspace root at {}",
+        root.display()
+    );
+    let findings = kst_analyze::analyze_workspace(&root).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "kst-analyze found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.render_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
