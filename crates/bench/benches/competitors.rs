@@ -1,0 +1,141 @@
+//! Serve throughput of the competing complete-tree topologies (Push-Down
+//! Trees and rotor-walk trees) across arities and locality regimes, with
+//! the same hard zero-allocation preflight as `serve.rs` — their entire
+//! adjustment is a couple of occupant swaps plus a local link diff, so
+//! they set the throughput ceiling the splay-based nets are judged
+//! against.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use kst_core::alloc_probe::{self, CountingAlloc};
+use kst_core::{Network, PushDownNet, RotorWalkNet};
+use kst_workloads::gens;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const N: usize = 1024;
+const BATCH: usize = 2000;
+
+fn bench_pushdown_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushdown_serve_t05");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = gens::temporal(N, 200_000, 0.5, 1);
+    for k in [2usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut net = PushDownNet::new(k, N);
+            let mut pos = 0usize;
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..BATCH {
+                    let (u, v) = trace.requests()[pos % trace.len()];
+                    pos += 1;
+                    acc += net.serve(black_box(u), black_box(v)).routing;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotor_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotor_serve_t05");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = gens::temporal(N, 200_000, 0.5, 1);
+    for k in [2usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut net = RotorWalkNet::new(k, N);
+            let mut pos = 0usize;
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..BATCH {
+                    let (u, v) = trace.requests()[pos % trace.len()];
+                    pos += 1;
+                    acc += net.serve(black_box(u), black_box(v)).routing;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Converged hot-pair steady state on a skewed zipf mix: after the hot
+/// pair reaches root adjacency the serve path is a distance query plus
+/// two guard checks, the regime where the fixed complete shape should
+/// lap the rotating splay nets.
+fn bench_competitors_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("competitors_serve_zipf12");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = gens::zipf(N, 200_000, 1.2, 3);
+    group.bench_function("pushdown_k4", |b| {
+        let mut net = PushDownNet::new(4, N);
+        let mut pos = 0usize;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                let (u, v) = trace.requests()[pos % trace.len()];
+                pos += 1;
+                acc += net.serve(black_box(u), black_box(v)).routing;
+            }
+            acc
+        });
+    });
+    group.bench_function("rotor_k4", |b| {
+        let mut net = RotorWalkNet::new(4, N);
+        let mut pos = 0usize;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                let (u, v) = trace.requests()[pos % trace.len()];
+                pos += 1;
+                acc += net.serve(black_box(u), black_box(v)).routing;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+/// Asserts the competitors' serve paths perform **zero** heap allocations
+/// from the very first request (all link-diff scratch is reserved at
+/// construction).
+fn assert_competitor_serve_paths_allocation_free() {
+    let trace = gens::temporal(512, 4096, 0.6, 9);
+    for k in [2usize, 3, 5, 10] {
+        let mut net = PushDownNet::new(k, 512);
+        let (acc, allocs) = alloc_probe::count_allocations(|| {
+            let mut acc = 0u64;
+            for &(u, v) in trace.requests() {
+                acc += net.serve(u, v).routing;
+            }
+            acc
+        });
+        black_box(acc);
+        assert_eq!(allocs, 0, "PushDownNet::serve allocated (k={k})");
+        let mut net = RotorWalkNet::new(k, 512);
+        let (acc, allocs) = alloc_probe::count_allocations(|| {
+            let mut acc = 0u64;
+            for &(u, v) in trace.requests() {
+                acc += net.serve(u, v).routing;
+            }
+            acc
+        });
+        black_box(acc);
+        assert_eq!(allocs, 0, "RotorWalkNet::serve allocated (k={k})");
+    }
+    println!("competitor serve-path allocation assertions passed (0 allocations)");
+}
+
+criterion_group!(
+    benches,
+    bench_pushdown_serve,
+    bench_rotor_serve,
+    bench_competitors_zipf
+);
+
+fn main() {
+    assert_competitor_serve_paths_allocation_free();
+    benches();
+}

@@ -1,7 +1,9 @@
 //! Regenerates every paper artifact in one go, writing `results/*.md`.
 //! Equivalent to running `table_kary`, `table8`, `remark10`, `lemma9` and
 //! `entropy_check` back to back (see those binaries for artifact details),
-//! plus the sharded-engine report (`results/engine.md`).
+//! plus the regret report (`results/regret.md`: every self-adjusting net
+//! vs the offline static optimum, windowed) and the sharded-engine report
+//! (`results/engine.md`).
 //!
 //! Parallelism: Tables 1–7 fan out over the **whole workload × k grid**
 //! (9·W independent cells) and Table 8 over the workload grid, so the
@@ -12,9 +14,12 @@
 
 #![forbid(unsafe_code)]
 
-use kst_bench::{render_engine_table, render_kary_table, render_table8, write_report, EngineRow};
+use kst_bench::{
+    render_engine_table, render_kary_table, render_regret_table, render_table8, write_report,
+    EngineRow,
+};
 use kst_engine::{EngineConfig, ShardedEngine};
-use kst_sim::experiments::{kary_tables, table8_rows, workload, Scale, WORKLOADS};
+use kst_sim::experiments::{kary_tables, regret_suite, table8_rows, workload, Scale, WORKLOADS};
 
 fn main() {
     let scale = Scale::from_env();
@@ -54,6 +59,22 @@ fn main() {
     let report = render_table8(&rows);
     println!("{report}");
     let _ = write_report("table8.md", &report);
+
+    // Regret: every self-adjusting net vs the offline static optimum,
+    // windowed, one suite per workload at k = 4 (the grid's midpoint).
+    let start = std::time::Instant::now();
+    let window = (scale.requests / 10).max(1);
+    let suites = kst_sim::par::par_map(WORKLOADS.to_vec(), scale.threads, |name| {
+        regret_suite(name, 4, window, &scale)
+    });
+    eprintln!(
+        "[regret | {} workloads, k=4, window={window}] {:.1?}",
+        WORKLOADS.len(),
+        start.elapsed()
+    );
+    let report = render_regret_table(&suites);
+    println!("{report}");
+    let _ = write_report("regret.md", &report);
 
     // Sharded engine: every workload through S shards of 4-ary SplayNets.
     let mut ecfg = EngineConfig::from_env();

@@ -100,6 +100,39 @@ pub fn render_kary_table(t: &KaryTable) -> String {
         }
     }
     tab.row(row3);
+    // Rows 4–5: competing self-adjusting topologies (PAPERS.md), compared
+    // on routing cost against the k-ary SplayNet at the same arity.
+    let mut row4 = vec!["Push-Down Tree".to_string()];
+    for c in &t.cells {
+        row4.push(ratio(c.pushdown.routing as f64 / c.splaynet.routing as f64));
+    }
+    tab.row(row4);
+    let mut row5 = vec!["Rotor-Walk Tree".to_string()];
+    for c in &t.cells {
+        row5.push(ratio(c.rotor.routing as f64 / c.splaynet.routing as f64));
+    }
+    tab.row(row5);
+    // Regret rows: total unit cost (routing + rotations) of each
+    // self-adjusting net over the offline static optimum's routing cost —
+    // "how far from clairvoyant", per net, per k.
+    for (name, get) in [
+        (
+            "Regret SplayNet",
+            (|c: &kst_sim::experiments::KaryCell| c.splaynet.total_unit_cost())
+                as fn(&kst_sim::experiments::KaryCell) -> u64,
+        ),
+        ("Regret Push-Down", |c| c.pushdown.total_unit_cost()),
+        ("Regret Rotor-Walk", |c| c.rotor.total_unit_cost()),
+    ] {
+        let mut row = vec![name.to_string()];
+        for c in &t.cells {
+            match c.optimal {
+                Some(o) => row.push(ratio(get(c) as f64 / o as f64)),
+                None => row.push("-".to_string()),
+            }
+        }
+        tab.row(row);
+    }
     let mut out = format!(
         "## k-ary SplayNet on {} \n\n\
          trace: n={} m={} repeat-rate={:.3} src-entropy={:.2} bits\n\n",
@@ -114,7 +147,61 @@ pub fn render_kary_table(t: &KaryTable) -> String {
         "\nRow 1: total routing cost of 2-ary SplayNet, then cost(k)/cost(2).\n\
          Row 2: cost(k-ary SplayNet)/cost(full k-ary tree). \
          Row 3: cost(k-ary SplayNet)/cost(optimal static k-ary tree). \
-         Lower is better for the SplayNet in all rows.\n",
+         Rows 4-5: routing cost of the competing self-adjusting topologies \
+         (Push-Down Trees; rotor-walk trees — see PAPERS.md) relative to the \
+         k-ary SplayNet at the same arity (x<1 means the competitor routes \
+         cheaper). Regret rows: each net's total unit cost (routing + \
+         rotations) over the offline optimal static tree's routing cost — \
+         closer to x1.000 is closer to clairvoyant. \
+         Lower is better for the SplayNet in rows 1-3.\n",
+    );
+    out
+}
+
+/// Renders the regret report (`results/regret.md`): every self-adjusting
+/// net's windowed online cost against the shared offline static reference.
+pub fn render_regret_table(suites: &[kst_sim::RegretSuite]) -> String {
+    let mut out = String::from("# Regret vs the offline static optimum\n");
+    for s in suites {
+        out.push_str(&format!(
+            "\n## {} (k={}, window={})\n\n",
+            workload_label(&s.workload),
+            s.k,
+            s.window
+        ));
+        let mut tab = Table::new(&[
+            "Network",
+            "reference",
+            "cumulative",
+            "first window",
+            "last window",
+            "regret sign",
+        ]);
+        for r in &s.reports {
+            let last = r.windows.len().saturating_sub(1);
+            let sign = match r.cumulative_regret() {
+                d if d > 0 => "+",
+                d if d < 0 => "- (beats static)",
+                _ => "0",
+            };
+            tab.row(vec![
+                r.net.clone(),
+                r.reference.to_string(),
+                ratio(r.cumulative_ratio()),
+                ratio(r.window_ratio(0)),
+                ratio(r.window_ratio(last)),
+                sign.to_string(),
+            ]);
+        }
+        out.push_str(&tab.to_markdown());
+    }
+    out.push_str(
+        "\nEach cell is online unit cost (routing + rotations) divided by \
+         the routing cost of one static tree chosen with hindsight over the \
+         whole trace (exact DP optimum when n is within `KSAN_DP_LIMIT`, \
+         else the centroid bound). Falling window ratios = the net is \
+         converging; a negative regret sign means the self-adjusting net \
+         beat the best static tree outright.\n",
     );
     out
 }

@@ -32,12 +32,15 @@
 
 pub mod alloc_probe;
 pub mod centroid_net;
+pub mod complete;
 pub mod invariants;
 pub mod key;
 pub mod ksplaynet;
 pub mod lazy;
 pub mod net;
+pub mod pushdown;
 pub mod restructure;
+pub mod rotor;
 pub mod routing;
 pub mod shape;
 pub mod splay;
@@ -56,6 +59,8 @@ const _: () = {
     assert_send::<tree::KstTree>();
     assert_send::<ksplaynet::KSplayNet>();
     assert_send::<centroid_net::KPlusOneSplayNet>();
+    assert_send::<pushdown::PushDownNet>();
+    assert_send::<rotor::RotorWalkNet>();
     assert_send::<shape::ShapeTree>();
     assert_send::<net::ServeCost>();
     // Lazy nets are Send whenever their rebuild policy is.
@@ -68,6 +73,7 @@ const _: () = {
 };
 
 pub use centroid_net::{KPlusOneSplayNet, Membership};
+pub use complete::CompleteTopology;
 pub use key::{key_image, NodeIdx, NodeKey, RoutingKey, NIL};
 pub use ksplaynet::KSplayNet;
 pub use kst_workloads::{DecayingDemand, DemandView, DirtyIndex, SparseDemand};
@@ -76,7 +82,9 @@ pub use lazy::{
     IncrementalWeightBalanced, LazyKaryNet, Rebuild, RebuildPlan, SubtreePatch,
 };
 pub use net::{Network, ServeCost};
+pub use pushdown::PushDownNet;
 pub use restructure::{RestructureStats, WindowPolicy};
+pub use rotor::RotorWalkNet;
 pub use shape::ShapeTree;
 pub use splay::{SplayStats, SplayStrategy};
 pub use tree::{KstTree, PatchStats};

@@ -475,6 +475,26 @@ impl ShardedEngine<kst_core::KSplayNet> {
     }
 }
 
+impl ShardedEngine<kst_core::PushDownNet> {
+    /// Convenience constructor: one k-ary Push-Down Tree per shard
+    /// (competing topology; local occupant swaps, fixed complete shape).
+    pub fn pushdown(k: usize, n: usize, cfg: EngineConfig) -> ShardedEngine<kst_core::PushDownNet> {
+        ShardedEngine::new(n, cfg, |_, range| {
+            kst_core::PushDownNet::new(k, range.len())
+        })
+    }
+}
+
+impl ShardedEngine<kst_core::RotorWalkNet> {
+    /// Convenience constructor: one k-ary Rotor-Walk Tree per shard
+    /// (competing topology; deterministic rotor-directed displacement).
+    pub fn rotor(k: usize, n: usize, cfg: EngineConfig) -> ShardedEngine<kst_core::RotorWalkNet> {
+        ShardedEngine::new(n, cfg, |_, range| {
+            kst_core::RotorWalkNet::new(k, range.len())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,11 +4,12 @@
 
 use crate::metrics::Metrics;
 use crate::par::par_map;
+use crate::regret::{regret_eval_against, RegretReport};
 use crate::runner::run;
-use kst_core::{KPlusOneSplayNet, KSplayNet, Network};
+use kst_core::{KPlusOneSplayNet, KSplayNet, Network, PushDownNet, RotorWalkNet};
 use kst_statics::{
-    centroid_tree, full_kary, optimal_bst_knuth_slack, optimal_routing_based_tree, DistTree,
-    StaticNet,
+    centroid_tree, full_kary, optimal_bst_knuth_slack, optimal_routing_based_tree,
+    static_reference, DistTree, StaticNet,
 };
 use kst_workloads::{gens, stats, DemandMatrix, Trace, TraceStats};
 use splaynet_classic::ClassicSplayNet;
@@ -130,6 +131,10 @@ pub struct KaryCell {
     pub k: usize,
     /// k-ary SplayNet metrics over the whole trace.
     pub splaynet: Metrics,
+    /// k-ary Push-Down Tree metrics (competing topology, PAPERS.md).
+    pub pushdown: Metrics,
+    /// k-ary Rotor-Walk Tree metrics (competing topology, PAPERS.md).
+    pub rotor: Metrics,
     /// Total routing cost of the static full k-ary tree.
     pub full_tree: u64,
     /// Total routing cost of the optimal static routing-based k-ary tree
@@ -153,6 +158,10 @@ fn kary_cell(trace: &Trace, demand: &DemandMatrix, k: usize, scale: &Scale) -> K
     let n = trace.n();
     let mut net = KSplayNet::balanced(k, n);
     let splaynet = run(&mut net, trace);
+    let mut pd = PushDownNet::new(k, n);
+    let pushdown = run(&mut pd, trace);
+    let mut rw = RotorWalkNet::new(k, n);
+    let rotor = run(&mut rw, trace);
     let full = full_kary(n, k).cost_on_trace(trace);
     let optimal = if n <= scale.dp_limit {
         let (t, _) = optimal_routing_based_tree(demand, k);
@@ -163,6 +172,8 @@ fn kary_cell(trace: &Trace, demand: &DemandMatrix, k: usize, scale: &Scale) -> K
     KaryCell {
         k,
         splaynet,
+        pushdown,
+        rotor,
         full_tree: full,
         optimal,
     }
@@ -325,6 +336,63 @@ pub fn table8_rows(names: &[&str], scale: &Scale) -> Vec<Table8Row> {
     })
 }
 
+/// Regret evaluation of one workload: every self-adjusting net in the
+/// workspace catalog against one shared offline static reference.
+#[derive(Debug, Clone)]
+pub struct RegretSuite {
+    /// Workload name.
+    pub workload: String,
+    /// Arity evaluated.
+    pub k: usize,
+    /// Window length in requests.
+    pub window: usize,
+    /// One report per self-adjusting net (k-SplayNet, (k+1)-SplayNet,
+    /// Push-Down Tree, Rotor-Walk Tree), all against the same reference.
+    pub reports: Vec<RegretReport>,
+}
+
+/// Runs the regret evaluation for one workload at arity `k`: solves the
+/// offline static reference once (exact DP within [`Scale::dp_limit`],
+/// centroid bound beyond it), then prices every self-adjusting net's
+/// windowed run against it.
+pub fn regret_suite(name: &str, k: usize, window: usize, scale: &Scale) -> RegretSuite {
+    let trace = workload(name, scale);
+    regret_suite_on(name, &trace, k, window, scale.dp_limit)
+}
+
+/// [`regret_suite`] on a caller-provided trace (for tests and examples).
+pub fn regret_suite_on(
+    name: &str,
+    trace: &Trace,
+    k: usize,
+    window: usize,
+    dp_limit: usize,
+) -> RegretSuite {
+    let n = trace.n();
+    let demand = DemandMatrix::from_trace(trace);
+    let reference = static_reference(&demand, k, dp_limit);
+    let mut reports = Vec::new();
+    let mut ksplay = KSplayNet::balanced(k, n);
+    reports.push(regret_eval_against(&mut ksplay, trace, &reference, window));
+    let mut centroid = KPlusOneSplayNet::new(k, n);
+    reports.push(regret_eval_against(
+        &mut centroid,
+        trace,
+        &reference,
+        window,
+    ));
+    let mut pd = PushDownNet::new(k, n);
+    reports.push(regret_eval_against(&mut pd, trace, &reference, window));
+    let mut rw = RotorWalkNet::new(k, n);
+    reports.push(regret_eval_against(&mut rw, trace, &reference, window));
+    RegretSuite {
+        workload: name.to_string(),
+        k,
+        window,
+        reports,
+    }
+}
+
 /// Builds every static structure for one workload and returns
 /// (label, total routing cost) pairs — used by examples.
 pub fn static_lineup(trace: &Trace, k: usize, dp_limit: usize) -> Vec<(String, u64)> {
@@ -431,6 +499,8 @@ mod tests {
             for (a, b) in table.cells.iter().zip(&single.cells) {
                 assert_eq!(a.k, b.k);
                 assert_eq!(a.splaynet, b.splaynet, "{} k={}", table.workload, a.k);
+                assert_eq!(a.pushdown, b.pushdown, "{} k={}", table.workload, a.k);
+                assert_eq!(a.rotor, b.rotor, "{} k={}", table.workload, a.k);
                 assert_eq!(a.full_tree, b.full_tree);
                 assert_eq!(a.optimal, b.optimal);
             }
@@ -448,6 +518,19 @@ mod tests {
             assert_eq!(row.splaynet, single.splaynet);
             assert_eq!(row.full_binary, single.full_binary);
             assert_eq!(row.optimal, single.optimal);
+        }
+    }
+
+    #[test]
+    fn regret_suite_covers_all_self_adjusting_nets() {
+        let scale = Scale::tiny(1200);
+        let suite = regret_suite("uniform", 3, 300, &scale);
+        assert_eq!(suite.reports.len(), 4);
+        for r in &suite.reports {
+            assert!(r.exact, "{}: n=100 is within the tiny DP limit", r.net);
+            assert_eq!(r.windows.len(), 4, "{}", r.net);
+            assert_eq!(r.static_total, suite.reports[0].static_total, "{}", r.net);
+            assert!(r.online_total > 0, "{}", r.net);
         }
     }
 

@@ -8,6 +8,8 @@
 //! * [`experiments`] — the paper's workload catalog and per-table
 //!   computations (shared by the `kst-bench` binaries and integration
 //!   tests);
+//! * [`regret`] — online cost vs the offline static optimum, per window
+//!   and cumulative;
 //! * [`table`] — report formatting in the paper's table style.
 
 #![forbid(unsafe_code)]
@@ -15,11 +17,14 @@
 pub mod experiments;
 pub mod metrics;
 pub mod par;
+pub mod regret;
 pub mod runner;
 pub mod table;
 
 pub use experiments::{
-    kary_table, kary_tables, table8_row, table8_rows, workload, Scale, WORKLOADS,
+    kary_table, kary_tables, regret_suite, regret_suite_on, table8_row, table8_rows, workload,
+    RegretSuite, Scale, WORKLOADS,
 };
 pub use metrics::Metrics;
+pub use regret::{regret_eval, regret_eval_against, RegretReport, RegretWindow};
 pub use runner::{run, run_checked, run_windowed};

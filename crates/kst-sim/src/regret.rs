@@ -1,0 +1,180 @@
+//! Regret evaluation: online self-adjusting cost versus the offline static
+//! optimum, per window and cumulatively.
+//!
+//! For a trace σ split into consecutive windows, the **online** side pays
+//! the paper's unit cost (routing + rotations) while adapting; the
+//! **reference** side is a single static tree chosen with hindsight over
+//! the *whole* trace ([`kst_statics::static_reference`]: the exact DP
+//! optimum when n is within the DP limit, else the centroid bound) and
+//! pays routing only. The interesting quantities are:
+//!
+//! * `window_ratio(i)` — online / static cost inside window i. On
+//!   stationary traffic this should fall toward a constant as the net
+//!   converges (sublinear regret ⇒ non-increasing window ratios);
+//! * `cumulative_ratio()` — total online / total static, the "how far
+//!   from clairvoyant" figure the result tables report;
+//! * `cumulative_regret()` — total online − total static, signed: a
+//!   self-adjusting net can *beat* the best static tree on
+//!   non-stationary traffic, which shows up as negative regret.
+//!
+//! `tests/regret.rs` pins the sanity properties (bounded, eventually
+//! non-increasing ratios on stationary zipf; brute-force cross-check of
+//! the reference on n ≤ 8).
+
+use crate::runner::run_windowed;
+use kst_core::Network;
+use kst_statics::{static_reference, window_costs, StaticReference};
+use kst_workloads::{DemandMatrix, Trace};
+
+/// One window of the online-vs-static comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct RegretWindow {
+    /// Online unit cost (routing + rotations) inside the window.
+    pub online_unit: u64,
+    /// Static reference routing cost on the same requests.
+    pub static_routing: u64,
+}
+
+/// Full regret evaluation of one network on one trace.
+#[derive(Debug, Clone)]
+pub struct RegretReport {
+    /// Label of the evaluated network.
+    pub net: String,
+    /// Label of the static reference ("optimal static (DP)" or
+    /// "centroid (bound)").
+    pub reference: &'static str,
+    /// True when the reference is the exact DP optimum.
+    pub exact: bool,
+    /// Window length in requests.
+    pub window: usize,
+    /// Per-window online/static cost pairs.
+    pub windows: Vec<RegretWindow>,
+    /// Total online unit cost over the trace.
+    pub online_total: u64,
+    /// Total static routing cost over the trace.
+    pub static_total: u64,
+}
+
+impl RegretReport {
+    /// Online / static cost ratio over the whole trace.
+    pub fn cumulative_ratio(&self) -> f64 {
+        if self.static_total == 0 {
+            0.0
+        } else {
+            self.online_total as f64 / self.static_total as f64
+        }
+    }
+
+    /// Signed total regret: online − static. Negative when the
+    /// self-adjusting net beats the best static tree.
+    pub fn cumulative_regret(&self) -> i64 {
+        self.online_total as i64 - self.static_total as i64
+    }
+
+    /// Online / static ratio inside window `i`.
+    pub fn window_ratio(&self, i: usize) -> f64 {
+        let w = &self.windows[i];
+        if w.static_routing == 0 {
+            0.0
+        } else {
+            w.online_unit as f64 / w.static_routing as f64
+        }
+    }
+}
+
+/// Runs `net` over the trace in windows and prices the same windows on the
+/// strongest affordable static reference (see [`static_reference`]).
+pub fn regret_eval<N: Network>(
+    net: &mut N,
+    trace: &Trace,
+    k: usize,
+    window: usize,
+    dp_limit: usize,
+) -> RegretReport {
+    let demand = DemandMatrix::from_trace(trace);
+    let reference = static_reference(&demand, k, dp_limit);
+    regret_eval_against(net, trace, &reference, window)
+}
+
+/// Like [`regret_eval`] but with a caller-supplied reference, so one DP
+/// solve can be shared across every net evaluated on the same trace.
+pub fn regret_eval_against<N: Network>(
+    net: &mut N,
+    trace: &Trace,
+    reference: &StaticReference,
+    window: usize,
+) -> RegretReport {
+    let (online_total, online_windows) = run_windowed(net, trace, window);
+    let static_windows = window_costs(&reference.tree, trace, window);
+    debug_assert_eq!(online_windows.len(), static_windows.len());
+    let windows: Vec<RegretWindow> = online_windows
+        .iter()
+        .zip(&static_windows)
+        .map(|(m, &s)| RegretWindow {
+            online_unit: m.total_unit_cost(),
+            static_routing: s,
+        })
+        .collect();
+    RegretReport {
+        net: net.label(),
+        reference: reference.label,
+        exact: reference.exact,
+        window,
+        windows,
+        online_total: online_total.total_unit_cost(),
+        static_total: static_windows.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kst_core::{KSplayNet, PushDownNet, RotorWalkNet};
+    use kst_workloads::gens;
+
+    #[test]
+    fn report_totals_are_window_sums() {
+        let trace = gens::zipf(64, 1200, 1.1, 21);
+        let mut net = KSplayNet::balanced(3, 64);
+        let r = regret_eval(&mut net, &trace, 3, 300, 128);
+        assert!(r.exact);
+        assert_eq!(r.windows.len(), 4);
+        assert_eq!(
+            r.windows.iter().map(|w| w.online_unit).sum::<u64>(),
+            r.online_total
+        );
+        assert_eq!(
+            r.windows.iter().map(|w| w.static_routing).sum::<u64>(),
+            r.static_total
+        );
+        assert!(r.cumulative_ratio() > 0.0);
+    }
+
+    #[test]
+    fn shared_reference_matches_per_net_solve() {
+        let trace = gens::temporal(48, 800, 0.7, 33);
+        let demand = DemandMatrix::from_trace(&trace);
+        let shared = kst_statics::static_reference(&demand, 2, 128);
+        let mut a = PushDownNet::new(2, 48);
+        let mut b = RotorWalkNet::new(2, 48);
+        let ra = regret_eval_against(&mut a, &trace, &shared, 200);
+        let rb = regret_eval_against(&mut b, &trace, &shared, 200);
+        assert_eq!(ra.static_total, rb.static_total, "same reference");
+        let mut a2 = PushDownNet::new(2, 48);
+        let r2 = regret_eval(&mut a2, &trace, 2, 200, 128);
+        assert_eq!(ra.online_total, r2.online_total);
+        assert_eq!(ra.static_total, r2.static_total);
+    }
+
+    #[test]
+    fn uniform_traffic_has_bounded_ratio() {
+        let trace = gens::uniform(32, 400, 2);
+        let mut net = PushDownNet::new(2, 32);
+        let r = regret_eval(&mut net, &trace, 2, 100, 64);
+        assert_eq!(r.windows.len(), 4);
+        assert!(r.cumulative_ratio() > 0.0);
+        for i in 0..r.windows.len() {
+            assert!(r.window_ratio(i).is_finite());
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //!   acceleration for large n (differentially validated);
 //! * [`eval`] — static topology evaluation ([`eval::DistTree`],
 //!   [`eval::StaticNet`]);
+//! * [`regret`] — offline static references (exact DP or centroid bound)
+//!   and per-window trace pricing for regret evaluation;
 //! * [`brute`] — exponential ground-truth enumeration for tests.
 
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ pub mod dp_uniform;
 pub mod eval;
 pub mod full_tree;
 pub mod knuth;
+pub mod regret;
 
 pub use centroid::{centroid_shape, centroid_subtree_sizes, centroid_tree};
 pub use dp_general::{optimal_routing_based, optimal_routing_based_tree, OptimalStatic};
@@ -30,3 +33,4 @@ pub use dp_uniform::{optimal_uniform, optimal_uniform_tree, UniformOptimal};
 pub use eval::{DistTree, StaticNet};
 pub use full_tree::full_kary;
 pub use knuth::{optimal_bst_exact, optimal_bst_knuth, optimal_bst_knuth_slack};
+pub use regret::{static_reference, window_costs, StaticReference};

@@ -1,0 +1,91 @@
+//! Offline static references for regret evaluation.
+//!
+//! Regret compares an online self-adjusting network against the best
+//! **static** tree chosen with full hindsight of the trace — the paper's
+//! Section 3 optimum, and the comparison lens of *Arithmetic BSTs*
+//! (PAPERS.md): a self-adjusting net is only interesting if it approaches
+//! (or beats, on non-stationary traffic) what a clairvoyant static design
+//! achieves. This module picks the reference tree and prices a trace on it
+//! window by window; the online side and the ratio bookkeeping live in
+//! `kst-sim::regret`.
+
+use crate::centroid::centroid_tree;
+use crate::dp_general::optimal_routing_based_tree;
+use crate::eval::DistTree;
+use kst_workloads::{DemandMatrix, Trace};
+
+/// An offline static reference tree plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct StaticReference {
+    /// The reference topology.
+    pub tree: DistTree,
+    /// Display name ("optimal static (DP)" or "centroid (bound)").
+    pub label: &'static str,
+    /// True when the exact O(n³·k) DP produced the tree; false when n was
+    /// over the DP limit and the linear-time centroid bound stood in.
+    pub exact: bool,
+}
+
+/// Picks the strongest affordable static reference for a demand matrix:
+/// the exact optimal routing-based k-ary tree when `n <= dp_limit`
+/// (Theorem 2's DP), else the demand-oblivious centroid tree (Theorem 8)
+/// as a cheap upper bound on the optimum's cost.
+pub fn static_reference(demand: &DemandMatrix, k: usize, dp_limit: usize) -> StaticReference {
+    let n = demand.n();
+    if n <= dp_limit {
+        let (tree, _) = optimal_routing_based_tree(demand, k);
+        StaticReference {
+            tree,
+            label: "optimal static (DP)",
+            exact: true,
+        }
+    } else {
+        StaticReference {
+            tree: centroid_tree(n, k),
+            label: "centroid (bound)",
+            exact: false,
+        }
+    }
+}
+
+/// Routing cost of each consecutive `window`-request slice of the trace on
+/// a static tree (the last window may be shorter). Summing the result
+/// reproduces [`DistTree::cost_on_trace`] exactly.
+pub fn window_costs(tree: &DistTree, trace: &Trace, window: usize) -> Vec<u64> {
+    trace
+        .windows(window)
+        .map(|w| w.iter().map(|&(u, v)| tree.distance(u, v)).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kst_workloads::gens;
+
+    #[test]
+    fn window_costs_sum_to_total() {
+        let trace = gens::zipf(60, 900, 1.2, 5);
+        let demand = DemandMatrix::from_trace(&trace);
+        let r = static_reference(&demand, 3, 128);
+        assert!(r.exact);
+        let per = window_costs(&r.tree, &trace, 250);
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().sum::<u64>(), r.tree.cost_on_trace(&trace));
+    }
+
+    #[test]
+    fn reference_falls_back_to_centroid_over_dp_limit() {
+        let trace = gens::uniform(50, 200, 9);
+        let demand = DemandMatrix::from_trace(&trace);
+        let exact = static_reference(&demand, 2, 64);
+        let bound = static_reference(&demand, 2, 16);
+        assert!(exact.exact);
+        assert!(!bound.exact);
+        // the DP tree is never worse than the oblivious bound
+        assert!(
+            exact.tree.cost_on_trace(&trace) <= bound.tree.cost_on_trace(&trace),
+            "DP optimum must not lose to the centroid bound"
+        );
+    }
+}

@@ -49,6 +49,15 @@ impl Trace {
         self
     }
 
+    /// Borrowing view of the trace as consecutive windows of `window`
+    /// requests (the last window may be shorter) — the slicing behind the
+    /// per-window regret evaluation in `kst-sim`. Zero-copy: each window
+    /// is a subslice of the request vector.
+    pub fn windows(&self, window: usize) -> std::slice::Chunks<'_, (NodeKey, NodeKey)> {
+        assert!(window > 0, "window must be positive");
+        self.reqs.chunks(window)
+    }
+
     /// Serializes as `u,v` CSV lines with a `# n=<n>` header.
     pub fn to_csv(&self) -> String {
         let mut s = String::with_capacity(self.reqs.len() * 8 + 16);

@@ -44,12 +44,14 @@ pub use splaynet_classic as classic;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use kst_core::{
-        KPlusOneSplayNet, KSplayNet, KstTree, Network, NodeKey, ServeCost, ShapeTree,
-        SplayStrategy, WindowPolicy,
+        KPlusOneSplayNet, KSplayNet, KstTree, Network, NodeKey, PushDownNet, RotorWalkNet,
+        ServeCost, ShapeTree, SplayStrategy, WindowPolicy,
     };
     pub use kst_engine::{EngineConfig, EngineReport, ShardMap, ShardedEngine};
-    pub use kst_sim::{Metrics, Scale};
-    pub use kst_statics::{centroid_tree, full_kary, optimal_routing_based_tree, DistTree};
+    pub use kst_sim::{Metrics, RegretReport, Scale};
+    pub use kst_statics::{
+        centroid_tree, full_kary, optimal_routing_based_tree, static_reference, DistTree,
+    };
     pub use kst_workloads::gens;
     pub use kst_workloads::{
         partition_keyspace, DecayingDemand, DemandMatrix, DemandView, DirtyIndex, KeyRange,

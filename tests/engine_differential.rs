@@ -78,6 +78,11 @@ fn one_shard_engine_is_bit_identical_on_every_network_type() {
     assert_one_shard_identical("StaticNet (full 3-ary)", |n| {
         StaticNet::new(full_kary(n, 3), "full-3ary")
     });
+    // Competing complete-tree topologies ride the same sharding layer.
+    for k in [2usize, 4] {
+        assert_one_shard_identical(&format!("PushDownNet k={k}"), |n| PushDownNet::new(k, n));
+        assert_one_shard_identical(&format!("RotorWalkNet k={k}"), |n| RotorWalkNet::new(k, n));
+    }
 }
 
 #[test]
@@ -137,6 +142,71 @@ fn threaded_run_is_bit_identical_to_sequential_across_network_types() {
             par_c.run_trace(&trace),
             "centroid shards={shards}"
         );
+    }
+    // The complete-tree competitors: rotor state makes RotorWalkNet the
+    // most history-sensitive net in the workspace, so thread-count must
+    // provably not leak into its results.
+    for shards in [2usize, 4] {
+        let base = EngineConfig::default().with_shards(shards).with_batch(97);
+        let mut seq = ShardedEngine::pushdown(3, n, base.clone().with_threads(1));
+        let mut par = ShardedEngine::pushdown(3, n, base.clone().with_threads(4));
+        assert_eq!(
+            seq.run_trace(&trace),
+            par.run_trace(&trace),
+            "pushdown shards={shards}"
+        );
+        let mut seq_r = ShardedEngine::rotor(3, n, base.clone().with_threads(1));
+        let mut par_r = ShardedEngine::rotor(3, n, base.with_threads(4));
+        assert_eq!(
+            seq_r.run_trace(&trace),
+            par_r.run_trace(&trace),
+            "rotor shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn competitor_replay_is_bit_identical_across_runs_and_thread_counts() {
+    // Determinism replay: regenerating the same seeded trace and serving
+    // it through fresh nets — standalone and through a 4-shard threaded
+    // engine — must reproduce bit-identical metrics both times.
+    let n = 220;
+    let run_standalone = |rotor: bool| -> Metrics {
+        let trace = gens::zipf(n, 6000, 1.2, 41);
+        let mut m = Metrics::default();
+        if rotor {
+            let mut net = RotorWalkNet::new(3, n);
+            for &(u, v) in trace.requests() {
+                m.absorb(net.serve(u, v));
+            }
+        } else {
+            let mut net = PushDownNet::new(3, n);
+            for &(u, v) in trace.requests() {
+                m.absorb(net.serve(u, v));
+            }
+        }
+        m
+    };
+    let run_engine = |rotor: bool, threads: usize| -> EngineReport {
+        let trace = gens::zipf(n, 6000, 1.2, 41);
+        let cfg = EngineConfig::default().with_shards(4).with_threads(threads);
+        if rotor {
+            ShardedEngine::rotor(3, n, cfg).run_trace(&trace)
+        } else {
+            ShardedEngine::pushdown(3, n, cfg).run_trace(&trace)
+        }
+    };
+    for rotor in [false, true] {
+        let label = if rotor { "rotor" } else { "pushdown" };
+        let first = run_standalone(rotor);
+        let second = run_standalone(rotor);
+        assert_eq!(first, second, "{label}: standalone replay diverged");
+        assert!(first.requests == 6000 && first.routing > 0, "{label}");
+        let seq = run_engine(rotor, 1);
+        let replay = run_engine(rotor, 1);
+        assert_eq!(seq, replay, "{label}: engine replay diverged");
+        let threaded = run_engine(rotor, 4);
+        assert_eq!(seq, threaded, "{label}: thread count leaked into metrics");
     }
 }
 

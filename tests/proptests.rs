@@ -12,6 +12,37 @@ fn arb_requests(n: u32, len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     proptest::collection::vec((1..=n, 1..=n), 0..len)
 }
 
+/// Recovers the global undirected key-space edge set from pairwise
+/// distance-1 relations — fully independent of a net's own accounting.
+fn edges_by_distance<N: Network>(net: &N, n: usize) -> std::collections::BTreeSet<(u32, u32)> {
+    let mut s = std::collections::BTreeSet::new();
+    for u in 1..=n as u32 {
+        for v in u + 1..=n as u32 {
+            if net.distance(u, v) == 1 {
+                s.insert((u, v));
+            }
+        }
+    }
+    s
+}
+
+/// Asserts `links_changed` equals the symmetric difference of the global
+/// before/after edge sets on every request of `trace`.
+fn check_links_exact<N: Network>(
+    net: &mut N,
+    n: usize,
+    trace: &Trace,
+) -> Result<(), TestCaseError> {
+    for &(u, v) in trace.requests() {
+        let before = edges_by_distance(net, n);
+        let c = net.serve(u, v);
+        let after = edges_by_distance(net, n);
+        let want = before.symmetric_difference(&after).count() as u64;
+        prop_assert_eq!(c.links_changed, want, "req ({},{})", u, v);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -340,6 +371,129 @@ proptest! {
             prop_assert!(merges <= budget, "entry for w={w} alive after {merges} merges");
         }
         prop_assert_eq!(d.total_fp(), 0);
+    }
+
+    #[test]
+    fn pushdown_stays_a_complete_tree_under_any_requests(
+        k in 2usize..=8,
+        n in 2usize..=90,
+        reqs in arb_requests(90, 80),
+    ) {
+        // The heap-shape invariant: after every request the occupancy is a
+        // permutation of all n nodes over the fixed complete position tree
+        // (node multiset preserved), the edge count is exactly n−1, and no
+        // node sits deeper than the complete tree's last level.
+        let reqs: Vec<_> = reqs.into_iter()
+            .filter(|&(u, v)| u != v && (u as usize) <= n && (v as usize) <= n)
+            .collect();
+        let mut net = PushDownNet::new(k, n);
+        let max_depth = {
+            let mut d = 0u32;
+            let mut p = (n - 1) as u32;
+            while p != 0 {
+                p = (p - 1) / k as u32;
+                d += 1;
+            }
+            d
+        };
+        for (u, v) in reqs {
+            net.serve(u, v);
+            net.validate().map_err(TestCaseError::fail)?;
+            let edges = net.edge_keys();
+            prop_assert_eq!(edges.len(), n - 1);
+            for key in 1..=n as u32 {
+                let pos = net.position_of(key);
+                prop_assert!((pos as usize) < n, "key {} at phantom position", key);
+                let mut d = 0u32;
+                let mut p = pos;
+                while p != 0 {
+                    p = (p - 1) / k as u32;
+                    d += 1;
+                }
+                prop_assert!(d <= max_depth, "key {} below the last level", key);
+            }
+        }
+    }
+
+    #[test]
+    fn rotor_pointers_advance_round_robin_and_fairly(
+        k in 2usize..=6,
+        seed in 0u64..400,
+    ) {
+        // Every rotor consultation must advance the pointer by exactly one
+        // slot (round-robin), and any position consulted ≥ child_count
+        // times must have pushed displaced occupants through EVERY child
+        // slot at least once — no subtree becomes a dumping ground.
+        let n = 70usize;
+        let mut net = RotorWalkNet::new(k, n);
+        let trace = gens::temporal(n, (k * n).max(150), 0.5, seed);
+        let counts: Vec<u32> = (0..n as u32)
+            .map(|p| {
+                let first = p as u64 * k as u64 + 1;
+                if first >= n as u64 { 0 } else { (n as u64 - first).min(k as u64) as u32 }
+            })
+            .collect();
+        let mut consults = vec![0usize; n];
+        let mut used: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); n];
+        let mut before = vec![0u32; n];
+        for &(u, v) in trace.requests() {
+            for (p, slot) in before.iter_mut().enumerate() {
+                *slot = net.rotor_slot(p as u32);
+            }
+            net.serve(u, v);
+            for p in 0..n {
+                let count = counts[p];
+                if count == 0 {
+                    continue;
+                }
+                let after = net.rotor_slot(p as u32);
+                let delta = (after + count - before[p]) % count;
+                // one serve consults a given position's rotor at most once
+                prop_assert!(delta <= 1, "rotor at {} advanced by {}", p, delta);
+                if delta == 1 {
+                    consults[p] += 1;
+                    used[p].insert(before[p]);
+                }
+            }
+        }
+        let mut some_position_saturated = false;
+        for p in 0..n {
+            let count = counts[p] as usize;
+            if count >= 2 && consults[p] >= count {
+                some_position_saturated = true;
+                prop_assert_eq!(
+                    used[p].len(),
+                    count,
+                    "position {} consulted {} times but used only {:?} of {} slots",
+                    p,
+                    consults[p],
+                    used[p].clone(),
+                    count
+                );
+            }
+        }
+        prop_assert!(some_position_saturated, "trace too short to exercise any rotor");
+    }
+
+    #[test]
+    fn competitor_links_changed_is_exact_edge_set_symmetric_difference(
+        k in 2usize..=6,
+        n in 3usize..=70,
+        seed in 0u64..300,
+        use_rotor in proptest::bool::ANY,
+    ) {
+        // `links_changed` must equal the symmetric difference of the global
+        // before/after undirected key-space edge sets on every request —
+        // the locally-diffed accounting can neither overcount (touched but
+        // unchanged positions) nor undercount (displacements outside the
+        // registered neighborhood).
+        let trace = gens::zipf(n, 120, 1.1, seed);
+        if use_rotor {
+            check_links_exact(&mut RotorWalkNet::new(k, n), n, &trace)?;
+        } else {
+            check_links_exact(&mut PushDownNet::new(k, n), n, &trace)?;
+        }
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Regret sanity gates: every self-adjusting net against the offline
+//! static optimum (`kst_statics::static_reference` + `kst_sim::regret`).
+//!
+//! Two properties are pinned:
+//!
+//! 1. on **stationary** zipf traffic the per-window online/static ratio is
+//!    bounded and settles — after the first (convergence) window no window
+//!    may be more than a small tolerance worse than its predecessor, and
+//!    the last window must not exceed the first. Convergence completes
+//!    well inside the first window, so the tolerances are tight but not
+//!    zero (window-to-window noise is real);
+//! 2. the DP reference the regret layer prices against is the true
+//!    optimum: brute-force enumeration over all routing-based k-ary trees
+//!    on n ≤ 8 must agree with `static_reference`'s tree exactly.
+
+use ksan::prelude::*;
+use ksan::sim::regret::regret_eval_against;
+use ksan::statics::brute::brute_optimal_routing_based;
+
+/// Runs one net's regret report on a shared reference and asserts the
+/// stationary-traffic sanity properties.
+fn assert_settling(r: &RegretReport) {
+    let ctx = &r.net;
+    assert!(r.exact, "{ctx}: reference must be the DP optimum");
+    assert!(r.windows.len() >= 4, "{ctx}: need several windows");
+    let first = r.window_ratio(0);
+    let last = r.window_ratio(r.windows.len() - 1);
+    assert!(first.is_finite() && first > 0.0, "{ctx}");
+    // Bounded: no self-adjusting net in this workspace pays more than a
+    // small constant factor over the clairvoyant static tree on
+    // stationary zipf (the SplayNet sits around 3–4×, the complete-tree
+    // competitors below 2×).
+    assert!(
+        r.cumulative_ratio() < 8.0,
+        "{ctx}: cumulative ratio {:.3} not bounded",
+        r.cumulative_ratio()
+    );
+    // Settling (sublinear regret per window): once converged, the ratio
+    // must not trend upward. 15% window-to-window tolerance absorbs the
+    // stochastic per-window mix; the endpoints get a tighter 10%.
+    for i in 1..r.windows.len() {
+        assert!(
+            r.window_ratio(i) <= r.window_ratio(i - 1) * 1.15,
+            "{ctx}: window {} ratio {:.3} jumped over window {} ratio {:.3}",
+            i,
+            r.window_ratio(i),
+            i - 1,
+            r.window_ratio(i - 1)
+        );
+    }
+    assert!(
+        last <= first * 1.10,
+        "{ctx}: last window {last:.3} worse than first {first:.3} — \
+         regret is growing, not settling"
+    );
+}
+
+#[test]
+fn stationary_zipf_ratios_are_bounded_and_settle_for_every_net() {
+    let (n, k) = (96usize, 3usize);
+    let trace = gens::zipf(n, 12_000, 1.2, 19);
+    let demand = DemandMatrix::from_trace(&trace);
+    let reference = static_reference(&demand, k, 128);
+    let window = 1_500;
+
+    let mut splay = KSplayNet::balanced(k, n);
+    assert_settling(&regret_eval_against(&mut splay, &trace, &reference, window));
+    let mut centroid = KPlusOneSplayNet::new(k, n);
+    assert_settling(&regret_eval_against(
+        &mut centroid,
+        &trace,
+        &reference,
+        window,
+    ));
+    let mut pushdown = PushDownNet::new(k, n);
+    assert_settling(&regret_eval_against(
+        &mut pushdown,
+        &trace,
+        &reference,
+        window,
+    ));
+    let mut rotor = RotorWalkNet::new(k, n);
+    assert_settling(&regret_eval_against(&mut rotor, &trace, &reference, window));
+}
+
+#[test]
+fn complete_tree_competitors_beat_the_splaynet_on_stationary_zipf() {
+    // The horse race the topologies were added for: with a guaranteed
+    // O(log n) shape, the push-down disciplines cannot be dragged into
+    // the SplayNet's deep-path regime by a heavy-tailed stationary
+    // demand. Pin the ordering so a regression in either discipline
+    // (e.g. a broken anti-thrash guard) shows up as a ratio inversion.
+    let (n, k) = (200usize, 3usize);
+    let trace = gens::zipf(n, 20_000, 1.2, 7);
+    let demand = DemandMatrix::from_trace(&trace);
+    let reference = static_reference(&demand, k, 256);
+    assert!(reference.exact);
+    let window = 5_000;
+    let mut splay = KSplayNet::balanced(k, n);
+    let rs = regret_eval_against(&mut splay, &trace, &reference, window);
+    let mut pushdown = PushDownNet::new(k, n);
+    let rp = regret_eval_against(&mut pushdown, &trace, &reference, window);
+    let mut rotor = RotorWalkNet::new(k, n);
+    let rr = regret_eval_against(&mut rotor, &trace, &reference, window);
+    assert!(
+        rp.cumulative_ratio() < rs.cumulative_ratio(),
+        "push-down {:.3} should beat splay {:.3} here",
+        rp.cumulative_ratio(),
+        rs.cumulative_ratio()
+    );
+    assert!(
+        rr.cumulative_ratio() < rs.cumulative_ratio(),
+        "rotor {:.3} should beat splay {:.3} here",
+        rr.cumulative_ratio(),
+        rs.cumulative_ratio()
+    );
+}
+
+#[test]
+fn regret_reference_matches_brute_force_on_tiny_instances() {
+    // The regret layer's static side is only meaningful if the DP tree it
+    // prices against really is the optimum; cross-check against full
+    // enumeration of every routing-based k-ary tree.
+    for (n, k, seed) in [(6usize, 2usize, 1u64), (7, 3, 2), (8, 2, 3), (8, 4, 4)] {
+        let trace = gens::zipf(n, 300, 1.1, seed);
+        let demand = DemandMatrix::from_trace(&trace);
+        let reference = static_reference(&demand, k, 64);
+        assert!(reference.exact);
+        let brute = brute_optimal_routing_based(&demand, k);
+        assert_eq!(
+            reference.tree.cost_on_trace(&trace),
+            brute,
+            "n={n} k={k} seed={seed}: DP reference is not the brute optimum"
+        );
+        // And the regret bookkeeping prices the static side with exactly
+        // that optimal cost.
+        let mut net = PushDownNet::new(k, n);
+        let r = regret_eval_against(&mut net, &trace, &reference, 75);
+        assert_eq!(r.static_total, brute, "n={n} k={k} seed={seed}");
+        assert_eq!(
+            r.cumulative_regret(),
+            r.online_total as i64 - brute as i64,
+            "n={n} k={k} seed={seed}: regret must be signed against the optimum"
+        );
+    }
+}

@@ -95,3 +95,47 @@ fn million_node_hot_pair_stays_flat_and_within_memory_budget() {
         None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
     }
 }
+
+#[test]
+#[ignore = "release-only scale test: run with cargo test --release -- --ignored"]
+fn million_node_competitors_stay_flat_and_within_memory_budget() {
+    // The complete-tree competitors at the same scale. Their footprint is
+    // far smaller than the SplayNet's (four u32 arrays plus bounded
+    // link-diff scratch — ~20 MB at n = 10⁶), so the shared process-wide
+    // 512 MiB budget leaves even more headroom; the interesting failure
+    // mode here is cost drift, e.g. rotor displacement slowly pushing the
+    // hot pair apart.
+    let trace = skewed_trace(N, REQUESTS);
+    let run = |label: &str, windows: Vec<ksan::sim::Metrics>, total: ksan::sim::Metrics| {
+        assert_eq!(total.requests, REQUESTS as u64, "{label}");
+        let costs: Vec<f64> = windows.iter().map(|w| w.avg_total_unit_cost()).collect();
+        let (lo, hi) = costs
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        assert!(
+            hi <= 1.25 * lo + 0.5,
+            "{label}: steady-state per-request cost must be flat across \
+             windows (min {lo:.3}, max {hi:.3})"
+        );
+        assert!(
+            hi < 8.0,
+            "{label}: steady-state per-request cost unexpectedly high: {hi:.3}"
+        );
+    };
+
+    let mut pushdown = PushDownNet::new(4, N);
+    let (total, windows) = ksan::sim::run_windowed(&mut pushdown, &trace, WINDOW);
+    run("PushDownNet", windows, total);
+
+    let mut rotor = RotorWalkNet::new(4, N);
+    let (total, windows) = ksan::sim::run_windowed(&mut rotor, &trace, WINDOW);
+    run("RotorWalkNet", windows, total);
+
+    match peak_rss_kib() {
+        Some(kib) => assert!(
+            kib < RSS_BUDGET_KIB,
+            "peak RSS {kib} KiB exceeds the documented {RSS_BUDGET_KIB} KiB budget"
+        ),
+        None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
+    }
+}

@@ -82,6 +82,35 @@ fn serve_paths_never_allocate() {
         assert_eq!(allocs, 0, "cloned KSplayNet allocated");
     }
 
+    // Competing topologies: Push-Down Trees and rotor-walk trees keep the
+    // complete position tree fixed and swap occupants; all link-diff
+    // scratch is reserved at construction, so serving — including the
+    // steady state after convergence — is allocation-free from request one.
+    for k in [2usize, 3, 5, 9] {
+        {
+            let mut net = PushDownNet::new(k, n);
+            let ((), allocs) = alloc_probe::count_allocations(|| {
+                std::hint::black_box(serve_all(&mut net, &trace));
+            });
+            assert_eq!(allocs, 0, "PushDownNet allocated (k={k}, temporal)");
+            let ((), allocs) = alloc_probe::count_allocations(|| {
+                std::hint::black_box(serve_all(&mut net, &zipf));
+            });
+            assert_eq!(allocs, 0, "PushDownNet allocated (k={k}, zipf)");
+        }
+        {
+            let mut net = RotorWalkNet::new(k, n);
+            let ((), allocs) = alloc_probe::count_allocations(|| {
+                std::hint::black_box(serve_all(&mut net, &trace));
+            });
+            assert_eq!(allocs, 0, "RotorWalkNet allocated (k={k}, temporal)");
+            let ((), allocs) = alloc_probe::count_allocations(|| {
+                std::hint::black_box(serve_all(&mut net, &zipf));
+            });
+            assert_eq!(allocs, 0, "RotorWalkNet allocated (k={k}, zipf)");
+        }
+    }
+
     // Classic binary SplayNet baseline.
     {
         let mut net = ClassicSplayNet::balanced(n);
