@@ -10,15 +10,20 @@
 //! thread pool (`KSAN_THREADS`, default: all cores) stays saturated
 //! across workloads. The engine section replays each workload through
 //! `KSAN_SHARDS` keyspace shards (default 4) on the engine's own worker
-//! pool (`KSAN_BATCH` tunes dispatch batching).
+//! pool (`KSAN_BATCH` tunes dispatch batching). The observability
+//! section replays each workload through the lazy rebuild engine with
+//! wall-clock recording on, writing `results/observability.md`,
+//! `results/observability.json`, and a chrome://tracing dump
+//! `results/trace.json`.
 
 #![forbid(unsafe_code)]
 
 use kst_bench::{
-    render_engine_table, render_kary_table, render_regret_table, render_table8, write_report,
-    EngineRow,
+    render_engine_table, render_kary_table, render_obs_table, render_regret_table, render_table8,
+    write_report, EngineRow,
 };
-use kst_engine::{EngineConfig, ShardedEngine};
+use kst_engine::{EngineConfig, ObsMode, ShardedEngine};
+use kst_obs::Stopwatch;
 use kst_sim::experiments::{kary_tables, regret_suite, table8_rows, workload, Scale, WORKLOADS};
 
 fn main() {
@@ -27,11 +32,11 @@ fn main() {
         "run_all: requests={} facebook_n={} dp_limit={} threads={}",
         scale.requests, scale.facebook_n, scale.dp_limit, scale.threads
     );
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
 
     // Tables 1–7: one grid-parallel run over every workload's k column.
     let names = ["hpc", "projector", "facebook", "t025", "t05", "t075", "t09"];
-    let start = std::time::Instant::now();
+    let start = Stopwatch::start();
     let tables = kary_tables(&names, &scale);
     eprintln!(
         "[tables 1-7 | {} workloads, grid-parallel] {:.1?}",
@@ -49,7 +54,7 @@ fn main() {
     let _ = write_report("tables_1_7.md", &combined);
 
     // Table 8: workload-grid parallel.
-    let start = std::time::Instant::now();
+    let start = Stopwatch::start();
     let rows = table8_rows(&WORKLOADS, &scale);
     eprintln!(
         "[table 8 | {} workloads, grid-parallel] {:.1?}",
@@ -62,7 +67,7 @@ fn main() {
 
     // Regret: every self-adjusting net vs the offline static optimum,
     // windowed, one suite per workload at k = 4 (the grid's midpoint).
-    let start = std::time::Instant::now();
+    let start = Stopwatch::start();
     let window = (scale.requests / 10).max(1);
     let suites = kst_sim::par::par_map(WORKLOADS.to_vec(), scale.threads, |name| {
         regret_suite(name, 4, window, &scale)
@@ -88,9 +93,9 @@ fn main() {
         (name, workload(name, &scale))
     });
     let mut engine_rows = Vec::new();
-    for (name, trace) in traces {
+    for (name, trace) in &traces {
         let mut engine = ShardedEngine::ksplay(4, trace.n(), ecfg.clone());
-        let (report, elapsed) = kst_engine::timed_run(&mut engine, &trace);
+        let (report, elapsed) = kst_engine::timed_run(&mut engine, trace);
         eprintln!("[engine | {name}] served in {elapsed:.1?}");
         engine_rows.push(EngineRow {
             workload: name.to_string(),
@@ -102,6 +107,57 @@ fn main() {
     let report = render_engine_table(&ecfg, &engine_rows);
     println!("{report}");
     let _ = write_report("engine.md", &report);
+
+    // Observability: the same workloads through the lazy rebuild engine
+    // with wall-clock recording on — per-request cost percentiles, and
+    // each rebuild's pause. `KSAN_OBS` can force the mode (e.g. `det`
+    // for bit-reproducible artifacts); default here is wall-clock, the
+    // point of the report.
+    let mut ocfg = ecfg.clone();
+    if std::env::var_os("KSAN_OBS").is_none() {
+        ocfg.obs = ObsMode::WallClock;
+    }
+    let mut obs_rows = Vec::new();
+    let mut obs_json = String::from("[");
+    let mut trace_dump: Option<String> = None;
+    for (name, trace) in &traces {
+        // Rebuild-epoch trigger α scales with per-shard traffic so every
+        // workload sees a healthy number of rebuilds; τ = α/4 keeps the
+        // incremental rebuilder selective about which subtrees it
+        // re-forms.
+        let alpha = (trace.requests().len() as u64 / ocfg.shards.max(1) as u64 / 8).max(64);
+        let tau = (alpha / 4).max(16);
+        let mut engine = ShardedEngine::lazy(4, trace.n(), alpha, tau, 8, ocfg.clone());
+        let (report, elapsed) = kst_engine::timed_run(&mut engine, trace);
+        eprintln!(
+            "[obs | {name}] served in {elapsed:.1?} ({} rebuild pauses)",
+            report.obs.rebuild_pause_total().count()
+        );
+        if obs_json.len() > 1 {
+            obs_json.push(',');
+        }
+        obs_json.push_str(&format!(
+            "{{\"workload\":\"{name}\",\"report\":{}}}",
+            report.obs.to_json()
+        ));
+        if *name == "t05" || trace_dump.is_none() {
+            trace_dump = Some(report.obs.to_chrome_trace());
+        }
+        obs_rows.push(EngineRow {
+            workload: name.to_string(),
+            n: trace.n(),
+            report,
+            elapsed,
+        });
+    }
+    obs_json.push(']');
+    let report = render_obs_table(&ocfg, &obs_rows);
+    println!("{report}");
+    let _ = write_report("observability.md", &report);
+    let _ = write_report("observability.json", &obs_json);
+    if let Some(dump) = trace_dump {
+        let _ = write_report("trace.json", &dump);
+    }
 
     eprintln!("run_all finished in {:.1?}", t0.elapsed());
     eprintln!("(remark10, lemma9 and entropy_check are separate binaries)");

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 
 use kst_bench::{render_table8, write_report};
+use kst_obs::Stopwatch;
 use kst_sim::experiments::{table8_row, Scale, WORKLOADS};
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for name in names {
-        let start = std::time::Instant::now();
+        let start = Stopwatch::start();
         rows.push(table8_row(&name, &scale));
         eprintln!("[{name}] done in {:.1?}", start.elapsed());
     }

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 use kst_bench::{render_kary_table, write_report};
+use kst_obs::Stopwatch;
 use kst_sim::experiments::{kary_table, Scale};
 
 fn main() {
@@ -26,7 +27,7 @@ fn main() {
         scale.requests, scale.facebook_n, scale.dp_limit, scale.threads
     );
     for name in names {
-        let start = std::time::Instant::now();
+        let start = Stopwatch::start();
         let table = kary_table(&name, &scale);
         let report = render_kary_table(&table);
         println!("{report}");

@@ -2,8 +2,9 @@
 //!
 //! Implements the subset the workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]`
-//! attribute, integer-range / tuple / `collection::vec` / `bool::ANY`
-//! strategies, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! attribute, integer-range / tuple / `collection::vec` / `bool::ANY` /
+//! `num::u64::ANY` / [`prop_oneof!`] union strategies,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
 //! [`TestCaseError`]. Unlike the real crate there is **no shrinking** —
 //! a failing case reports the generated inputs verbatim — and generation
 //! is driven by the deterministic SplitMix64 stand-in of the vendored
@@ -126,6 +127,26 @@ pub mod collection {
     }
 }
 
+/// `proptest::num` subset: full-range integer strategies.
+pub mod num {
+    /// Strategies over every `u64`.
+    pub mod u64 {
+        /// Strategy producing uniformly random `u64` values.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Generates any `u64`, full range.
+        pub const ANY: Any = Any;
+
+        impl crate::strategy::Strategy for Any {
+            type Value = u64;
+            fn generate(&self, rng: &mut crate::test_runner::TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
 /// `proptest::bool` subset.
 pub mod bool {
     /// Strategy producing fair booleans.
@@ -147,8 +168,19 @@ pub mod bool {
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Uniform choice between branches that generate the same value type.
+/// Subset of the real macro: no `weight =>` prefixes.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
     };
 }
 

@@ -65,6 +65,30 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 
+/// Uniform choice between same-valued strategies ([`crate::prop_oneof!`]).
+///
+/// The real crate's `Union` carries weights; the workspace only uses the
+/// unweighted form, so each branch is drawn with equal probability.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given branches. Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
 /// Length specification accepted by [`crate::collection::vec`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {

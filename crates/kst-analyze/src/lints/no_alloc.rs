@@ -1,8 +1,10 @@
 //! `no-alloc`: source-level allocation-freedom for the serve hot path.
 //!
 //! Builds a call-graph approximation rooted at the hot-path entry points
-//! (`serve`, `restructure`, `splay_until`, `distance_lca`, and the engine
-//! `worker_loop`) and flags every transitive call to an allocating API.
+//! (`serve`, `restructure`, `splay_until`, `distance_lca`, the engine
+//! `worker_loop`, and the kst-obs recorders `Histogram::record`,
+//! `Tracer::record`, `ObsCollector::observe`, `ShardObs::observe` and
+//! friends) and flags every transitive call to an allocating API.
 //! Resolution is by name — an over-approximation that trades precision
 //! for zero dependencies — so every cold-by-design boundary (epoch
 //! rebuilds, ledger growth) is cut explicitly with a
@@ -20,13 +22,30 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// Lint id.
 pub const ID: &str = "no-alloc";
 
-/// Functions whose bodies anchor the hot-path call graph.
-const ROOT_NAMES: &[&str] = &[
-    "serve",
-    "restructure",
-    "splay_until",
-    "distance_lca",
-    "worker_loop",
+/// Functions whose bodies anchor the hot-path call graph, as
+/// `(name, impl-type)` pairs; `None` matches the name in any impl (or as
+/// a free function). The observability recorders are anchored with their
+/// impl type because the bare names collide with cold-path fns — e.g.
+/// the demand ledgers' allocating `record` — that must stay outside the
+/// hot graph.
+const ROOT_NAMES: &[(&str, Option<&str>)] = &[
+    ("serve", None),
+    ("restructure", None),
+    ("splay_until", None),
+    ("distance_lca", None),
+    ("worker_loop", None),
+    // kst-obs: everything a serve loop touches when a collector is
+    // attached must be allocation-free, whether or not a test executed
+    // that branch (the rebuild spans, the wrapped ring, ...).
+    ("record", Some("Histogram")),
+    ("record_n", Some("Histogram")),
+    ("record", Some("CostHistograms")),
+    ("record", Some("Tracer")),
+    ("record_timed", Some("Tracer")),
+    ("observe", Some("ObsCollector")),
+    ("observe_timed", Some("ObsCollector")),
+    ("observe", Some("ShardObs")),
+    ("observe_timed", Some("ShardObs")),
 ];
 
 /// Macros that always allocate.
@@ -108,7 +127,10 @@ pub fn run(model: &Model, out: &mut Vec<Finding>) {
                 .map(|g| g.body)
                 .collect();
             calls.insert((fi, ni), extract_calls(&file.lx.tokens, f.body, &nested));
-            if ROOT_NAMES.contains(&f.name.as_str()) {
+            let is_root = ROOT_NAMES.iter().any(|&(name, qual)| {
+                name == f.name && (qual.is_none() || qual == f.qual.as_deref())
+            });
+            if is_root {
                 roots.push((fi, ni));
             }
         }

@@ -49,6 +49,39 @@ fn no_alloc_good_is_clean() {
 }
 
 #[test]
+fn obs_record_bad_is_flagged() {
+    let findings = analyze("tests/fixtures/obs_record_bad.rs", "kst-obs");
+    let hits = of_lint(&findings, "no-alloc");
+    assert!(
+        hits.len() >= 3,
+        "expected format!/to_vec/push all flagged, got: {findings:?}"
+    );
+    let msgs: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("format!")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("to_vec")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("push")), "{msgs:?}");
+    // The roots are anchored by impl type, so the chains name them.
+    assert!(
+        msgs.iter().any(|m| m.contains("Histogram::record")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn obs_record_good_is_clean() {
+    let findings = analyze("tests/fixtures/obs_record_good.rs", "kst-obs");
+    assert!(
+        of_lint(&findings, "no-alloc").is_empty(),
+        "clean fixture flagged (the allocating Ledger::record shares only \
+         a simple name with the hot recorders): {findings:?}"
+    );
+    assert!(
+        of_lint(&findings, "bad-suppression").is_empty(),
+        "allow in good fixture rejected: {findings:?}"
+    );
+}
+
+#[test]
 fn determinism_bad_is_flagged() {
     let findings = analyze("tests/fixtures/determinism_bad.rs", "kst-workloads");
     let hits = of_lint(&findings, "determinism");

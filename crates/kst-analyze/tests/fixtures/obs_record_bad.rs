@@ -1,0 +1,41 @@
+//! Known-bad fixture: observability recorders — anchored as roots by
+//! their `(name, impl-type)` pair, not just the bare name — reach
+//! allocating APIs three ways: a `format!` inside `Histogram::record`,
+//! a `.to_vec()` inside `Tracer::record`, and `.push()` growth on an
+//! unreserved local inside `ObsCollector::observe`.
+
+pub struct Histogram {
+    count: u64,
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        let label = format!("v={v}");
+        self.count += label.len() as u64;
+    }
+}
+
+pub struct Tracer {
+    seen: Vec<u64>,
+}
+
+impl Tracer {
+    pub fn record(&mut self, v: u64) {
+        let copy = self.seen.to_vec();
+        self.seen[0] = v + copy.len() as u64;
+    }
+}
+
+pub struct ObsCollector {
+    hist: Histogram,
+}
+
+impl ObsCollector {
+    pub fn observe(&mut self, c: u64) {
+        let mut staged = Vec::new();
+        staged.push(c);
+        for v in staged {
+            Histogram::record(&mut self.hist, v);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Known-good fixture: the same recorder surface as `obs_record_bad.rs`
+//! written the reserved-arena way — fixed-size state, ring overwrite,
+//! qualified calls — plus a cold-path `Ledger::record` that *does*
+//! allocate but is not a root (only `Histogram::record` and friends
+//! anchor the graph, by impl type) and is never called from one, so the
+//! qualified anchoring must leave it unflagged.
+
+pub struct Histogram {
+    low: u64,
+    high: u64,
+    count: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        if v < 32 {
+            self.low += 1;
+        } else {
+            self.high += 1;
+        }
+        self.count += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+}
+
+pub struct Tracer {
+    ring: [u64; 8],
+    head: usize,
+    seq: u64,
+}
+
+impl Tracer {
+    pub fn record(&mut self, v: u64) {
+        self.ring[self.head] = v;
+        self.head += 1;
+        if self.head == self.ring.len() {
+            self.head = 0;
+        }
+        self.seq += 1;
+    }
+}
+
+pub struct ObsCollector {
+    pub hist: Histogram,
+    pub tracer: Tracer,
+}
+
+impl ObsCollector {
+    pub fn observe(&mut self, v: u64) {
+        Histogram::record(&mut self.hist, v);
+        Tracer::record(&mut self.tracer, v);
+    }
+}
+
+/// Epoch ledger whose bare-name `record` allocates by design; it shares
+/// a simple name with the hot recorders but not an impl type, so it must
+/// stay outside the hot graph.
+pub struct Ledger {
+    pairs: Vec<(u64, u64)>,
+}
+
+impl Ledger {
+    pub fn record(&mut self, u: u64, v: u64) {
+        self.pairs.reserve(1);
+        let copy = self.pairs.to_vec();
+        self.pairs.push((u, v));
+        self.pairs.truncate(copy.len() + 1);
+    }
+}

@@ -27,8 +27,10 @@
 //! threaded run is bit-identical to the sequential one, which the
 //! differential tests assert.
 
+use crate::obs::{observed_serve, record_handoff, ObsMode, ObsReport, ShardObs};
 use crate::shard::ShardMap;
 use kst_core::{Network, ServeCost};
+use kst_obs::{EventKind, Stopwatch, Tracer};
 use kst_sim::Metrics;
 use kst_workloads::{KeyRange, NodeKey, Trace};
 use std::sync::mpsc;
@@ -51,6 +53,13 @@ pub struct EngineConfig {
     /// Routing hops charged by the top-level router per cross-shard
     /// request (star topology: 2 = shard egress + ingress).
     pub router_hops: u64,
+    /// What to record while serving (histograms/timelines; see
+    /// [`ObsMode`]). Off by default — the serve path then carries no
+    /// observability overhead at all.
+    pub obs: ObsMode,
+    /// Span-ring capacity per tracer when observability is on (events
+    /// kept per shard / dispatcher / worker timeline).
+    pub obs_events: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,13 +69,16 @@ impl Default for EngineConfig {
             threads: kst_sim::par::default_threads(),
             batch: 1024,
             router_hops: 2,
+            obs: ObsMode::Off,
+            obs_events: 4096,
         }
     }
 }
 
 impl EngineConfig {
     /// Reads overrides from the environment: `KSAN_SHARDS`,
-    /// `KSAN_THREADS`, `KSAN_BATCH`.
+    /// `KSAN_THREADS`, `KSAN_BATCH`, `KSAN_OBS` (`off`/`det`/`wall`),
+    /// `KSAN_OBS_EVENTS`.
     pub fn from_env() -> EngineConfig {
         let mut cfg = EngineConfig::default();
         let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
@@ -78,6 +90,15 @@ impl EngineConfig {
         }
         if let Some(v) = get("KSAN_BATCH") {
             cfg.batch = v.max(1);
+        }
+        if let Some(m) = std::env::var("KSAN_OBS")
+            .ok()
+            .and_then(|v| ObsMode::parse(&v))
+        {
+            cfg.obs = m;
+        }
+        if let Some(v) = get("KSAN_OBS_EVENTS") {
+            cfg.obs_events = v;
         }
         cfg
     }
@@ -97,6 +118,18 @@ impl EngineConfig {
     /// Builder-style batch size override.
     pub fn with_batch(mut self, batch: usize) -> EngineConfig {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style observability mode override.
+    pub fn with_obs(mut self, obs: ObsMode) -> EngineConfig {
+        self.obs = obs;
+        self
+    }
+
+    /// Builder-style span-ring capacity override.
+    pub fn with_obs_events(mut self, events: usize) -> EngineConfig {
+        self.obs_events = events;
         self
     }
 }
@@ -123,6 +156,11 @@ pub struct EngineReport {
     /// broken out so reports can separate "real" routing from the
     /// router-model surcharge).
     pub router_hops: u64,
+    /// Observability surfaces recorded during the run (empty when
+    /// [`EngineConfig::obs`] is off). Its equality compares only the
+    /// deterministic histograms, so report equality keeps meaning
+    /// "same costs, move for move" across thread/batch configs.
+    pub obs: ObsReport,
 }
 
 impl EngineReport {
@@ -132,6 +170,7 @@ impl EngineReport {
             per_shard: vec![Metrics::default(); shards],
             cross: Metrics::default(),
             router_hops: 0,
+            obs: ObsReport::off(),
         }
     }
 
@@ -170,6 +209,7 @@ impl EngineReport {
         }
         self.cross.merge(&other.cross);
         self.router_hops += other.router_hops;
+        self.obs.merge(&other.obs);
     }
 }
 
@@ -199,6 +239,11 @@ pub struct ShardedEngine<N> {
     map: ShardMap,
     nets: Vec<N>,
     cfg: EngineConfig,
+    /// Run-origin clock: every wall-clock timestamp an observed run
+    /// stamps (span `ts`, rebuild pauses) is an offset from this, so all
+    /// threads share one time base. Unused unless
+    /// [`EngineConfig::obs`] is [`ObsMode::WallClock`].
+    origin: Stopwatch,
 }
 
 impl<N: Network> ShardedEngine<N> {
@@ -225,7 +270,12 @@ impl<N: Network> ShardedEngine<N> {
                 net
             })
             .collect();
-        ShardedEngine { map, nets, cfg }
+        ShardedEngine {
+            map,
+            nets,
+            cfg,
+            origin: Stopwatch::start(),
+        }
     }
 
     /// The keyspace partition in use.
@@ -251,9 +301,17 @@ impl<N: Network> ShardedEngine<N> {
     pub fn serve_one(&mut self, u: NodeKey, v: NodeKey, report: &mut EngineReport) -> ServeCost {
         let su = self.map.shard_of(u);
         let sv = self.map.shard_of(v);
+        let mode = report.obs.mode;
         if su == sv {
             let r = self.map.range(su);
-            let c = self.nets[su].serve(r.to_local(u), r.to_local(v));
+            let c = observed_serve(
+                &mut self.nets[su],
+                r.to_local(u),
+                r.to_local(v),
+                mode,
+                report.obs.per_shard.get_mut(su),
+                self.origin,
+            );
             report.per_shard[su].absorb(c);
             return c;
         }
@@ -264,12 +322,32 @@ impl<N: Network> ShardedEngine<N> {
         let gu = self.map.gateway(su);
         if u != gu {
             let r = self.map.range(su);
-            add_cost(&mut c, self.nets[su].serve(r.to_local(u), r.to_local(gu)));
+            add_cost(
+                &mut c,
+                observed_serve(
+                    &mut self.nets[su],
+                    r.to_local(u),
+                    r.to_local(gu),
+                    mode,
+                    report.obs.per_shard.get_mut(su),
+                    self.origin,
+                ),
+            );
         }
         let gv = self.map.gateway(sv);
         if v != gv {
             let r = self.map.range(sv);
-            add_cost(&mut c, self.nets[sv].serve(r.to_local(gv), r.to_local(v)));
+            add_cost(
+                &mut c,
+                observed_serve(
+                    &mut self.nets[sv],
+                    r.to_local(gv),
+                    r.to_local(v),
+                    mode,
+                    report.obs.per_shard.get_mut(sv),
+                    self.origin,
+                ),
+            );
         }
         report.cross.absorb(c);
         report.router_hops += self.cfg.router_hops;
@@ -280,6 +358,7 @@ impl<N: Network> ShardedEngine<N> {
     pub fn run_trace_seq(&mut self, trace: &Trace) -> EngineReport {
         assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
         let mut report = EngineReport::new(self.map.shards());
+        report.obs = ObsReport::with_config(self.map.shards(), self.cfg.obs, self.cfg.obs_events);
         for &(u, v) in trace.requests() {
             self.serve_one(u, v, &mut report);
         }
@@ -305,6 +384,9 @@ impl<N: Network + Send> ShardedEngine<N> {
         let shards = self.map.shards();
         let batch = self.cfg.batch.max(1);
         let router_hops = self.cfg.router_hops;
+        let obs_mode = self.cfg.obs;
+        let obs_events = self.cfg.obs_events;
+        let origin = self.origin;
         let map = &self.map;
 
         // Move each shard's net into its worker's slot (shard s → worker
@@ -321,16 +403,19 @@ impl<N: Network + Send> ShardedEngine<N> {
         }
 
         let mut report = EngineReport::new(shards);
+        report.obs = ObsReport::with_config(shards, obs_mode, obs_events);
         let mut cross_requests = 0u64;
         let mut cross_half = ServeCost::default();
 
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
-            for nets in worker_nets {
+            for (w, nets) in worker_nets.into_iter().enumerate() {
                 let (tx, rx) = mpsc::sync_channel::<Vec<Op>>(QUEUE_DEPTH);
                 senders.push(tx);
-                handles.push(scope.spawn(move || worker_loop(nets, rx, workers)));
+                handles.push(scope.spawn(move || {
+                    worker_loop(nets, rx, workers, w, shards, obs_mode, obs_events, origin)
+                }));
             }
 
             // Dispatch: walk the trace in order, append to per-worker
@@ -338,10 +423,12 @@ impl<N: Network + Send> ShardedEngine<N> {
             // single dispatcher preserve each shard's operation order.
             let mut buffers: Vec<Vec<Op>> =
                 (0..workers).map(|_| Vec::with_capacity(batch)).collect();
-            let push = |buffers: &mut Vec<Vec<Op>>, op: Op| {
+            let push = |buffers: &mut Vec<Vec<Op>>, obs: &mut ObsReport, op: Op| {
                 let w = op.shard as usize % workers;
                 buffers[w].push(op);
                 if buffers[w].len() == batch {
+                    let buffered: usize = buffers.iter().map(Vec::len).sum();
+                    record_handoff(obs, w, batch, buffered, origin);
                     let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(batch));
                     // ksan-allow: panic-surface a closed queue means the scoped worker panicked; propagating is correct
                     senders[w].send(full).expect("engine worker hung up");
@@ -354,6 +441,7 @@ impl<N: Network + Send> ShardedEngine<N> {
                     let r = map.range(su);
                     push(
                         &mut buffers,
+                        &mut report.obs,
                         Op {
                             shard: su as u32,
                             a: r.to_local(u),
@@ -368,6 +456,7 @@ impl<N: Network + Send> ShardedEngine<N> {
                         let r = map.range(su);
                         push(
                             &mut buffers,
+                            &mut report.obs,
                             Op {
                                 shard: su as u32,
                                 a: r.to_local(u),
@@ -381,6 +470,7 @@ impl<N: Network + Send> ShardedEngine<N> {
                         let r = map.range(sv);
                         push(
                             &mut buffers,
+                            &mut report.obs,
                             Op {
                                 shard: sv as u32,
                                 a: r.to_local(gv),
@@ -391,22 +481,31 @@ impl<N: Network + Send> ShardedEngine<N> {
                     }
                 }
             }
-            for (w, buf) in buffers.into_iter().enumerate() {
+            for (w, buf) in buffers.iter_mut().enumerate() {
                 if !buf.is_empty() {
+                    record_handoff(&mut report.obs, w, buf.len(), buf.len(), origin);
+                    let tail = std::mem::take(buf);
                     // ksan-allow: panic-surface a closed queue means the scoped worker panicked; propagating is correct
-                    senders[w].send(buf).expect("engine worker hung up");
+                    senders[w].send(tail).expect("engine worker hung up");
                 }
             }
             drop(senders); // close the queues: workers drain and return
 
             for (w, handle) in handles.into_iter().enumerate() {
                 // ksan-allow: panic-surface join fails only if the worker panicked; re-panicking propagates it
-                let results = handle.join().expect("engine worker panicked");
+                let (results, shard_obs, tracer) = handle.join().expect("engine worker panicked");
                 for (i, (net, intra, half)) in results.into_iter().enumerate() {
                     let s = i * workers + w; // inverse of the s % workers layout
                     parked[s] = Some(net);
                     report.per_shard[s] = intra;
                     add_cost(&mut cross_half, half);
+                }
+                for (i, so) in shard_obs.into_iter().enumerate() {
+                    let s = i * workers + w;
+                    report.obs.per_shard[s] = so;
+                }
+                if obs_mode != ObsMode::Off {
+                    report.obs.workers.push(tracer);
                 }
             }
         });
@@ -437,20 +536,54 @@ impl<N: Network + Send> ShardedEngine<N> {
 /// Drains one worker's queue: serves every op on the owned shard nets,
 /// accumulating intra-shard metrics per shard and a single cross-shard
 /// half-serve sum, then returns the nets (in local order) with their
-/// tallies.
+/// tallies, per-shard observability state, and the worker's own batch
+/// timeline. Observation happens inside the worker against the shard's
+/// FIFO op stream — the same stream the sequential path sees — which is
+/// what makes the deterministic histogram surfaces bit-identical to
+/// [`ShardedEngine::run_trace_seq`].
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<N: Network>(
     mut nets: Vec<N>,
     rx: mpsc::Receiver<Vec<Op>>,
     workers: usize,
-) -> Vec<(N, Metrics, ServeCost)> {
+    w: usize,
+    shards: usize,
+    mode: ObsMode,
+    events: usize,
+    origin: Stopwatch,
+) -> (Vec<(N, Metrics, ServeCost)>, Vec<ShardObs>, Tracer) {
     // ksan-allow: no-alloc per-run tally setup, once per worker thread before any request is served
     let mut intra = vec![Metrics::default(); nets.len()];
     // ksan-allow: no-alloc per-run tally setup, once per worker thread before any request is served
     let mut half = vec![ServeCost::default(); nets.len()];
+    let mut obs: Vec<ShardObs> = Vec::new();
+    // ksan-allow: no-alloc zero-capacity placeholder ring; Vec::with_capacity(0) does not allocate
+    let mut tracer = Tracer::with_capacity(0, 0);
+    if mode != ObsMode::Off {
+        for i in 0..nets.len() {
+            let track = i * workers + w; // this slot's global shard id
+            let track = track as u32;
+            // ksan-allow: no-alloc per-run observability setup, once per worker thread before any request is served
+            obs.push(ShardObs::new(track, events));
+        }
+        let track = shards + 1 + w;
+        let track = track as u32;
+        // ksan-allow: no-alloc per-run observability setup, once per worker thread before any request is served
+        tracer = Tracer::with_capacity(track, events);
+    }
     while let Ok(ops) = rx.recv() {
+        if mode != ObsMode::Off {
+            let ts = if mode == ObsMode::WallClock {
+                origin.elapsed_us()
+            } else {
+                0
+            };
+            let len = ops.len() as u64;
+            Tracer::record_timed(&mut tracer, EventKind::ShardDispatch, len, w as u64, ts, 0);
+        }
         for op in ops {
             let i = op.shard as usize / workers;
-            let c = nets[i].serve(op.a, op.b);
+            let c = observed_serve(&mut nets[i], op.a, op.b, mode, obs.get_mut(i), origin);
             if op.half {
                 add_cost(&mut half[i], c);
             } else {
@@ -458,12 +591,14 @@ fn worker_loop<N: Network>(
             }
         }
     }
-    nets.into_iter()
+    let out = nets
+        .into_iter()
         .zip(intra)
         .zip(half)
         .map(|((n, m), h)| (n, m, h))
         // ksan-allow: no-alloc per-run teardown, once per worker thread after the queue closes
-        .collect()
+        .collect();
+    (out, obs, tracer)
 }
 
 impl ShardedEngine<kst_core::KSplayNet> {
@@ -481,6 +616,32 @@ impl ShardedEngine<kst_core::PushDownNet> {
     pub fn pushdown(k: usize, n: usize, cfg: EngineConfig) -> ShardedEngine<kst_core::PushDownNet> {
         ShardedEngine::new(n, cfg, |_, range| {
             kst_core::PushDownNet::new(k, range.len())
+        })
+    }
+}
+
+impl ShardedEngine<kst_core::lazy::LazyKaryNet<kst_core::lazy::IncrementalWeightBalanced>> {
+    /// Convenience constructor: one lazy rebuild-based k-ary net per
+    /// shard (epoch trigger `alpha`, incremental weight-balanced
+    /// rebuilder with imbalance threshold `tau`, demand half-life
+    /// `half_life` epochs). The config whose rebuild pauses the
+    /// observability layer is built to expose.
+    pub fn lazy(
+        k: usize,
+        n: usize,
+        alpha: u64,
+        tau: u64,
+        half_life: u32,
+        cfg: EngineConfig,
+    ) -> ShardedEngine<kst_core::lazy::LazyKaryNet<kst_core::lazy::IncrementalWeightBalanced>> {
+        ShardedEngine::new(n, cfg, |_, range| {
+            kst_core::lazy::LazyKaryNet::new(
+                k,
+                range.len(),
+                alpha,
+                kst_core::lazy::incremental_weight_balanced_rebuilder(k, tau),
+            )
+            .with_half_life(half_life)
         })
     }
 }

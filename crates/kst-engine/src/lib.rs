@@ -19,7 +19,12 @@
 //!   the intra-shard traffic;
 //! * the threaded run is bit-identical to the sequential run — the single
 //!   dispatcher fixes each shard's operation order, and shards never share
-//!   state.
+//!   state;
+//! * with observability on ([`EngineConfig::obs`]), the per-shard cost
+//!   and rebuild-size histograms in [`ObsReport`] are built from those
+//!   same fixed per-shard streams, so they inherit the bit-identity —
+//!   while wall-clock surfaces (rebuild pauses, batch/queue
+//!   distributions, span timestamps) are kept out of report equality.
 //!
 //! ```
 //! use kst_engine::{EngineConfig, ShardedEngine};
@@ -38,22 +43,22 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod obs;
 pub mod shard;
 
 pub use engine::{EngineConfig, EngineReport, ShardedEngine};
+pub use obs::{ObsMode, ObsReport, ShardObs};
 pub use shard::ShardMap;
 
 use kst_core::Network;
 use kst_workloads::Trace;
 
 /// Runs a trace through the engine and returns the report together with
-/// wall-clock elapsed time (the harness' throughput probe).
+/// wall-clock elapsed time (the harness' throughput probe, on the
+/// workspace's audited clock surface — [`kst_obs::Stopwatch`]).
 pub fn timed_run<N: Network + Send>(
     engine: &mut ShardedEngine<N>,
     trace: &Trace,
 ) -> (EngineReport, std::time::Duration) {
-    // ksan-allow: determinism wall-clock throughput probe; the duration never feeds ServeCost or Metrics
-    let start = std::time::Instant::now();
-    let report = engine.run_trace(trace);
-    (report, start.elapsed())
+    kst_obs::timed(|| engine.run_trace(trace))
 }

@@ -1,0 +1,462 @@
+//! Engine-level observability: per-shard cost/rebuild histograms, pause
+//! tracking, dispatcher/worker timelines, and the exporters.
+//!
+//! # Determinism contract
+//!
+//! The observability surfaces split in two:
+//!
+//! * **Deterministic** — the per-shard cost histograms and rebuild-size
+//!   histograms. These are built purely from `ServeCost` units over each
+//!   shard's operation sequence, and the dispatcher fixes that sequence
+//!   regardless of worker/batch configuration — so they are
+//!   **bit-identical** across sequential, threaded, and any batch size
+//!   (`tests/engine_differential.rs` asserts it). [`ObsReport`]'s
+//!   `PartialEq` compares exactly these surfaces.
+//! * **Wall-clock / topology-dependent** — rebuild pause times, batch
+//!   size and queue occupancy distributions, and the span timelines.
+//!   These describe *one particular run* and are excluded from
+//!   equality. Wall-clock fields are only populated under
+//!   [`ObsMode::WallClock`], stamped from the engine's run-origin
+//!   [`Stopwatch`] (the workspace's audited clock surface).
+
+use kst_core::{Network, NodeKey, ServeCost};
+use kst_obs::json::{histogram_json, trace_events_json};
+use kst_obs::{CostHistograms, EventKind, Histogram, Stopwatch, Tracer};
+use kst_sim::obs::ObsCollector;
+
+/// What the engine records while serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Record nothing (zero overhead on the serve path).
+    #[default]
+    Off,
+    /// Record the deterministic surfaces only: cost/rebuild histograms
+    /// and logical-sequence span events. No clock is read.
+    Deterministic,
+    /// Everything in `Deterministic`, plus wall-clock timestamps on
+    /// span events and per-rebuild pause histograms.
+    WallClock,
+}
+
+impl ObsMode {
+    /// Stable lowercase name (used by `KSAN_OBS` and the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsMode::Off => "off",
+            ObsMode::Deterministic => "det",
+            ObsMode::WallClock => "wall",
+        }
+    }
+
+    /// Parses a `KSAN_OBS` value (`off` / `det` / `wall`); `None` for
+    /// anything else.
+    pub fn parse(s: &str) -> Option<ObsMode> {
+        match s {
+            "off" => Some(ObsMode::Off),
+            "det" | "deterministic" => Some(ObsMode::Deterministic),
+            "wall" | "wallclock" => Some(ObsMode::WallClock),
+            _ => None,
+        }
+    }
+}
+
+/// One shard's observability state: the simulator-level collector
+/// (cost + rebuild histograms, span ring) plus the engine-level
+/// rebuild-pause histogram.
+#[derive(Debug, Clone)]
+pub struct ShardObs {
+    /// Cost and rebuild-size histograms plus the span timeline, built
+    /// from the shard's deterministic operation sequence.
+    pub col: ObsCollector,
+    /// Wall-clock duration (µs) of each serve that applied a rebuild
+    /// patch — the pause the lazy nets trade for amortized cost. Only
+    /// populated under [`ObsMode::WallClock`]; excluded from equality.
+    pub rebuild_pause_us: Histogram,
+}
+
+impl ShardObs {
+    /// Fresh state whose tracer records on `track` and keeps the last
+    /// `events` spans.
+    pub fn new(track: u32, events: usize) -> ShardObs {
+        ShardObs {
+            col: ObsCollector::new(track, events),
+            rebuild_pause_us: Histogram::new(),
+        }
+    }
+
+    /// Records one local serve on the deterministic layer.
+    /// Allocation-free.
+    // Qualified calls throughout the observe path so kst-analyze's
+    // name-based call graph resolves them exactly.
+    pub fn observe(&mut self, a: NodeKey, b: NodeKey, c: ServeCost) {
+        ObsCollector::observe(&mut self.col, a, b, c);
+    }
+
+    /// Records one local serve with wall-clock fields; a serve that
+    /// applied rebuild patches also lands in the pause histogram.
+    /// Allocation-free.
+    pub fn observe_timed(&mut self, a: NodeKey, b: NodeKey, c: ServeCost, ts_us: u64, dur_us: u64) {
+        ObsCollector::observe_timed(&mut self.col, a, b, c, ts_us, dur_us);
+        if c.rebuild_patches > 0 {
+            Histogram::record(&mut self.rebuild_pause_us, dur_us);
+        }
+    }
+
+    /// Folds another shard state in (histogram monoid; tracer append).
+    pub fn merge(&mut self, other: &ShardObs) {
+        self.col.merge(&other.col);
+        self.rebuild_pause_us.merge(&other.rebuild_pause_us);
+    }
+}
+
+/// Serves `(a, b)` on `net`, recording per the mode. The single observe
+/// point shared by the sequential path (`serve_one`) and the worker
+/// loop, so both produce the same deterministic streams. `so` is `None`
+/// when the report carries no state for this shard (mode off).
+pub(crate) fn observed_serve<N: Network>(
+    net: &mut N,
+    a: NodeKey,
+    b: NodeKey,
+    mode: ObsMode,
+    so: Option<&mut ShardObs>,
+    origin: Stopwatch,
+) -> ServeCost {
+    match (mode, so) {
+        (ObsMode::Off, _) | (_, None) => net.serve(a, b),
+        (ObsMode::Deterministic, Some(so)) => {
+            let c = net.serve(a, b);
+            ShardObs::observe(so, a, b, c);
+            c
+        }
+        (ObsMode::WallClock, Some(so)) => {
+            let ts = origin.elapsed_us();
+            let c = net.serve(a, b);
+            let dur = origin.elapsed_us().saturating_sub(ts);
+            ShardObs::observe_timed(so, a, b, c, ts, dur);
+            c
+        }
+    }
+}
+
+/// The observability half of an `EngineReport`.
+///
+/// Equality compares **only the deterministic surfaces** (mode, and the
+/// per-shard cost + rebuild-size histograms), so whole `EngineReport`s
+/// can still be `assert_eq!`d across thread/batch configurations — and
+/// across repeated wall-clock runs — exactly as before.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// The mode the run recorded under.
+    pub mode: ObsMode,
+    /// Per-shard state, indexed by shard id. Empty when mode is
+    /// [`ObsMode::Off`].
+    pub per_shard: Vec<ShardObs>,
+    /// Ops per dispatched batch (threaded runs only; topology-dependent,
+    /// excluded from equality).
+    pub batch_sizes: Histogram,
+    /// Total ops buffered across all workers at each batch handoff — a
+    /// queue-occupancy proxy (threaded runs only; excluded from
+    /// equality).
+    pub queue_depth: Histogram,
+    /// The dispatcher's span timeline (batch handoffs; track = shard
+    /// count).
+    pub dispatcher: Tracer,
+    /// Per-worker span timelines (batch receipts; track = shard count +
+    /// 1 + worker index).
+    pub workers: Vec<Tracer>,
+}
+
+impl PartialEq for ObsReport {
+    fn eq(&self, other: &ObsReport) -> bool {
+        self.mode == other.mode
+            && self.per_shard.len() == other.per_shard.len()
+            && self.per_shard.iter().zip(&other.per_shard).all(|(a, b)| {
+                a.col.cost == b.col.cost
+                    && a.col.rebuild_nodes == b.col.rebuild_nodes
+                    && a.col.rebuild_patches == b.col.rebuild_patches
+            })
+    }
+}
+
+impl Eq for ObsReport {}
+
+impl ObsReport {
+    /// The no-op report (mode off, no per-shard state). What
+    /// `EngineReport::new` starts with, and the merge identity.
+    pub fn off() -> ObsReport {
+        ObsReport {
+            mode: ObsMode::Off,
+            per_shard: Vec::new(),
+            batch_sizes: Histogram::new(),
+            queue_depth: Histogram::new(),
+            dispatcher: Tracer::with_capacity(0, 0),
+            workers: Vec::new(),
+        }
+    }
+
+    /// A report ready to record for `shards` shards under `mode`,
+    /// keeping `events` spans per ring. Off mode returns [`ObsReport::off`].
+    pub fn with_config(shards: usize, mode: ObsMode, events: usize) -> ObsReport {
+        if mode == ObsMode::Off {
+            return ObsReport::off();
+        }
+        ObsReport {
+            mode,
+            per_shard: (0..shards)
+                .map(|s| ShardObs::new(s as u32, events))
+                .collect(),
+            batch_sizes: Histogram::new(),
+            queue_depth: Histogram::new(),
+            dispatcher: Tracer::with_capacity(shards as u32, events),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Requests observed across all shards (cross-shard requests count
+    /// once per gateway half-serve, mirroring the per-shard streams).
+    pub fn requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.col.requests()).sum()
+    }
+
+    /// All shards' cost histograms merged (the distribution a sequential
+    /// observer of every local serve would build).
+    pub fn cost_total(&self) -> CostHistograms {
+        let mut acc = CostHistograms::new();
+        for s in &self.per_shard {
+            acc.merge(&s.col.cost);
+        }
+        acc
+    }
+
+    /// All shards' nodes-per-rebuild histograms merged.
+    pub fn rebuild_nodes_total(&self) -> Histogram {
+        let mut acc = Histogram::new();
+        for s in &self.per_shard {
+            acc.merge(&s.col.rebuild_nodes);
+        }
+        acc
+    }
+
+    /// All shards' patches-per-rebuild histograms merged.
+    pub fn rebuild_patches_total(&self) -> Histogram {
+        let mut acc = Histogram::new();
+        for s in &self.per_shard {
+            acc.merge(&s.col.rebuild_patches);
+        }
+        acc
+    }
+
+    /// All shards' rebuild-pause histograms merged (wall-clock mode
+    /// only; empty otherwise).
+    pub fn rebuild_pause_total(&self) -> Histogram {
+        let mut acc = Histogram::new();
+        for s in &self.per_shard {
+            acc.merge(&s.rebuild_pause_us);
+        }
+        acc
+    }
+
+    /// Merges another observability report in (chunked/windowed runs).
+    /// An off report is the identity on either side.
+    pub fn merge(&mut self, other: &ObsReport) {
+        if other.mode == ObsMode::Off {
+            return;
+        }
+        if self.mode == ObsMode::Off {
+            // ksan-allow: no-alloc report merging is a cold join-time fold, never on the serve path
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.per_shard.len(),
+            other.per_shard.len(),
+            "cannot merge observability reports with different shard counts"
+        );
+        for (a, b) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            a.merge(b);
+        }
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.queue_depth.merge(&other.queue_depth);
+        self.dispatcher.merge(&other.dispatcher);
+        for (a, b) in self.workers.iter_mut().zip(&other.workers) {
+            a.merge(b);
+        }
+        if other.workers.len() > self.workers.len() {
+            self.workers
+                .extend(other.workers[self.workers.len()..].iter().cloned());
+        }
+    }
+
+    /// JSON snapshot of every histogram surface (totals plus per-shard
+    /// routing/pause), for `results/observability.json`.
+    pub fn to_json(&self) -> String {
+        let cost = self.cost_total();
+        let mut out = String::from("{");
+        out.push_str(&format!("\"mode\":\"{}\"", self.mode.name()));
+        out.push_str(&format!(",\"requests\":{}", self.requests()));
+        for (label, h) in [
+            ("routing", &cost.routing),
+            ("rotations", &cost.rotations),
+            ("links", &cost.links),
+            ("total_unit", &cost.total_unit),
+            ("rebuild_nodes", &self.rebuild_nodes_total()),
+            ("rebuild_patches", &self.rebuild_patches_total()),
+            ("rebuild_pause_us", &self.rebuild_pause_total()),
+            ("batch_sizes", &self.batch_sizes),
+            ("queue_depth", &self.queue_depth),
+        ] {
+            out.push_str(&format!(",\"{label}\":{}", histogram_json(h)));
+        }
+        out.push_str(",\"shards\":[");
+        for (s, so) in self.per_shard.iter().enumerate() {
+            if s > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{s},\"routing\":{},\"rebuild_pause_us\":{}}}",
+                histogram_json(&so.col.cost.routing),
+                histogram_json(&so.rebuild_pause_us)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Dumps every span ring in chrome://tracing Trace Event Format
+    /// (load at `chrome://tracing` or ui.perfetto.dev): one track per
+    /// shard, one for the dispatcher, one per worker.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut tracers: Vec<&Tracer> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for (s, so) in self.per_shard.iter().enumerate() {
+            tracers.push(&so.col.tracer);
+            labels.push(format!("shard-{s}"));
+        }
+        tracers.push(&self.dispatcher);
+        labels.push(String::from("dispatcher"));
+        for (w, t) in self.workers.iter().enumerate() {
+            tracers.push(t);
+            labels.push(format!("worker-{w}"));
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        trace_events_json(&tracers, &label_refs)
+    }
+}
+
+/// Records one batch handoff on the dispatcher surfaces: batch size,
+/// queue-occupancy proxy, and a `BatchHandoff` span.
+pub(crate) fn record_handoff(
+    obs: &mut ObsReport,
+    worker: usize,
+    batch_len: usize,
+    buffered: usize,
+    origin: Stopwatch,
+) {
+    if obs.mode == ObsMode::Off {
+        return;
+    }
+    Histogram::record(&mut obs.batch_sizes, batch_len as u64);
+    Histogram::record(&mut obs.queue_depth, buffered as u64);
+    let ts = if obs.mode == ObsMode::WallClock {
+        origin.elapsed_us()
+    } else {
+        0
+    };
+    Tracer::record_timed(
+        &mut obs.dispatcher,
+        EventKind::BatchHandoff,
+        worker as u64,
+        batch_len as u64,
+        ts,
+        0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_mode_parses_env_spellings() {
+        assert_eq!(ObsMode::parse("off"), Some(ObsMode::Off));
+        assert_eq!(ObsMode::parse("det"), Some(ObsMode::Deterministic));
+        assert_eq!(ObsMode::parse("wall"), Some(ObsMode::WallClock));
+        assert_eq!(ObsMode::parse("bogus"), None);
+        assert_eq!(ObsMode::Off.name(), "off");
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_surfaces() {
+        let mut a = ObsReport::with_config(2, ObsMode::WallClock, 8);
+        let mut b = ObsReport::with_config(2, ObsMode::WallClock, 8);
+        let cost = ServeCost {
+            routing: 3,
+            rotations: 1,
+            ..ServeCost::default()
+        };
+        // Same deterministic stream, wildly different wall-clock fields.
+        a.per_shard[0].observe_timed(1, 2, cost, 10, 5);
+        b.per_shard[0].observe_timed(1, 2, cost, 99_000, 800);
+        record_handoff(&mut a, 0, 64, 64, Stopwatch::start());
+        assert_eq!(a, b);
+        // ... but a diverging cost stream is detected.
+        b.per_shard[1].observe(3, 4, cost);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_has_off_as_identity_and_sums_histograms() {
+        let cost = ServeCost {
+            routing: 2,
+            ..ServeCost::default()
+        };
+        let mut a = ObsReport::with_config(1, ObsMode::Deterministic, 4);
+        a.per_shard[0].observe(1, 2, cost);
+        let snapshot = a.clone();
+        a.merge(&ObsReport::off());
+        assert_eq!(a, snapshot);
+
+        let mut id = ObsReport::off();
+        id.merge(&snapshot);
+        assert_eq!(id, snapshot);
+        assert_eq!(id.requests(), 1);
+
+        let mut b = ObsReport::with_config(1, ObsMode::Deterministic, 4);
+        b.per_shard[0].observe(1, 2, cost);
+        a.merge(&b);
+        assert_eq!(a.requests(), 2);
+        assert_eq!(a.cost_total().routing.sum(), 4);
+    }
+
+    #[test]
+    fn json_and_trace_exports_are_well_formed() {
+        let mut r = ObsReport::with_config(2, ObsMode::WallClock, 16);
+        let cost = ServeCost {
+            routing: 4,
+            rotations: 2,
+            links_changed: 1,
+            rebuild_patches: 3,
+            rebuild_nodes: 20,
+        };
+        r.per_shard[1].observe_timed(5, 6, cost, 120, 30);
+        record_handoff(&mut r, 1, 256, 300, Stopwatch::start());
+        let js = r.to_json();
+        assert!(js.starts_with("{\"mode\":\"wall\""));
+        for key in [
+            "routing",
+            "rotations",
+            "rebuild_pause_us",
+            "batch_sizes",
+            "queue_depth",
+            "shards",
+        ] {
+            assert!(js.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        let trace = r.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"shard-1\""));
+        assert!(trace.contains("\"name\":\"dispatcher\""));
+        assert!(trace.contains("\"name\":\"rebuild_apply\""));
+        assert!(trace.contains("\"name\":\"batch_handoff\""));
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-request cost distributions, built purely from `ServeCost` units.
+//!
+//! This crate has no dependency on `kst-core`, so the recorder takes the
+//! three cost components as plain `u64`s; `kst_sim::obs::ObsCollector`
+//! provides the `ServeCost`-typed glue. Because the inputs are the
+//! deterministic cost units themselves (never wall-clock), these
+//! histograms inherit the engine's threaded ≡ sequential bit-identity.
+
+use crate::hist::Histogram;
+
+/// The four per-request cost distributions the reports quote: routing,
+/// rotations, links changed, and total unit cost (routing + rotations,
+/// the paper's Section 5 model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostHistograms {
+    /// Path length in the pre-adjustment topology, per request.
+    pub routing: Histogram,
+    /// Rotations performed, per request.
+    pub rotations: Histogram,
+    /// Physical links added + removed, per request.
+    pub links: Histogram,
+    /// Routing + rotations, per request.
+    pub total_unit: Histogram,
+}
+
+impl CostHistograms {
+    /// Empty distributions (the merge identity).
+    pub fn new() -> CostHistograms {
+        CostHistograms::default()
+    }
+
+    /// Records one request's cost components. Allocation-free.
+    // Qualified `Histogram::record` calls so kst-analyze's name-based
+    // call graph resolves them exactly (`.record(...)` would alias the
+    // demand-ledger recorders).
+    pub fn record(&mut self, routing: u64, rotations: u64, links: u64) {
+        Histogram::record(&mut self.routing, routing);
+        Histogram::record(&mut self.rotations, rotations);
+        Histogram::record(&mut self.links, links);
+        Histogram::record(&mut self.total_unit, routing + rotations);
+    }
+
+    /// Requests recorded.
+    pub fn count(&self) -> u64 {
+        self.routing.count()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.routing.is_empty()
+    }
+
+    /// Field-wise [`Histogram::merge`]: associative, commutative,
+    /// [`CostHistograms::new`] identity.
+    pub fn merge(&mut self, other: &CostHistograms) {
+        self.routing.merge(&other.routing);
+        self.rotations.merge(&other.rotations);
+        self.links.merge(&other.links);
+        self.total_unit.merge(&other.total_unit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_all_four_distributions() {
+        let mut c = CostHistograms::new();
+        c.record(4, 2, 6);
+        c.record(2, 0, 0);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.routing.sum(), 6);
+        assert_eq!(c.rotations.sum(), 2);
+        assert_eq!(c.links.sum(), 6);
+        assert_eq!(c.total_unit.sum(), 8);
+        assert_eq!(c.total_unit.max(), 6);
+    }
+
+    #[test]
+    fn merge_is_field_wise() {
+        let mut a = CostHistograms::new();
+        let mut b = CostHistograms::new();
+        let mut whole = CostHistograms::new();
+        for i in 0..100u64 {
+            let (r, s, l) = (i % 13, i % 3, i % 7);
+            if i % 2 == 0 {
+                a.record(r, s, l);
+            } else {
+                b.record(r, s, l);
+            }
+            whole.record(r, s, l);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

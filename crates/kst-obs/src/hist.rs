@@ -1,0 +1,332 @@
+//! The log-bucketed, mergeable histogram behind every distribution this
+//! workspace reports.
+//!
+//! # Bucket layout
+//!
+//! Values `0..32` get one exact bucket each. Every power-of-two octave
+//! `[2^e, 2^(e+1))` for `e ∈ [5, 63]` is split into 32 linear
+//! sub-buckets of width `2^(e-5)`, so a bucket's width never exceeds
+//! 1/32 of its lower bound. The layout is **fixed** (no configuration),
+//! which makes every pair of histograms mergeable and makes equality
+//! meaningful: two histograms fed the same sample sequence — in any
+//! order — are bit-identical.
+//!
+//! # Quantile semantics
+//!
+//! [`Histogram::quantile`] returns the inclusive upper bound of the
+//! bucket holding the `ceil(q·count)`-th smallest sample, clamped to the
+//! exactly-tracked maximum. Writing `ref`
+//! for that order statistic in the raw data: the estimate is exact for
+//! `ref < 32` and otherwise satisfies `ref ≤ estimate ≤ ref + ref/32`
+//! (the workspace proptests pin this against a sorted-vector reference).
+//!
+//! # Contracts
+//!
+//! * `record` performs no heap allocation (buckets are pre-sized at
+//!   construction) — registered as a `no-alloc` root in `kst-analyze`
+//!   and exercised under the counting allocator in `tests/zero_alloc.rs`.
+//! * `merge` is a commutative monoid with [`Histogram::new`] as
+//!   identity, exactly like `Metrics::merge` (proptested).
+
+/// Linear sub-buckets per octave (and the exact-bucket cutoff).
+const SUB_COUNT: u64 = 32;
+/// log2 of [`SUB_COUNT`].
+const SUB_BITS: u32 = 5;
+/// Total bucket count: 32 exact buckets + 59 octaves × 32 sub-buckets.
+pub const BUCKETS: usize = (SUB_COUNT as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Maps a value to its bucket index. Exact below [`SUB_COUNT`];
+/// logarithmic with 32 linear sub-buckets per octave above.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+    let shift = e - SUB_BITS;
+    let sub = (v >> shift) - SUB_COUNT; // 0..SUB_COUNT
+    let base = (SUB_COUNT as usize) * ((e - SUB_BITS + 1) as usize);
+    base + sub as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the quantile representative).
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        return i as u64;
+    }
+    let oct = (i / SUB_COUNT as usize) as u32; // 1..=59
+    let sub = (i % SUB_COUNT as usize) as u64;
+    let shift = oct - 1;
+    let low = (SUB_COUNT + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+/// A log-bucketed `u64` histogram with allocation-free `record`,
+/// rank-exact small values, ≤ 1/32 relative quantile error above, and a
+/// commutative-monoid `merge`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (the merge identity). The only allocation a
+    /// histogram ever performs happens here.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0u64; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Allocation-free; sums saturate instead of
+    /// overflowing.
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records `n` identical samples in O(1). Allocation-free.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = bucket_index(v);
+        self.counts[i] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample recorded, exact (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`): the inclusive upper bound of the
+    /// bucket holding the `ceil(q·count)`-th smallest sample, clamped to
+    /// the recorded [`Histogram::max`] so no quantile overshoots the
+    /// largest observed value. 0 when empty. See the module docs for the
+    /// error bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the tail the rebuild-pause story is about.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merges another histogram in: bucket-wise addition, so the
+    /// operation is **associative and commutative with
+    /// [`Histogram::new`] as identity** — per-shard partials reduce in
+    /// any grouping to exactly the histogram a sequential run over the
+    /// same samples would build (`tests/obs_prop.rs` pins this).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Exhaustive near the seams of every octave.
+        let mut probes: Vec<u64> = (0..2048).collect();
+        for e in 5..64u32 {
+            let lo = 1u64 << e;
+            probes.extend([lo - 1, lo, lo + 1, lo + (lo >> 1)]);
+            probes.push(lo.saturating_add(lo.wrapping_sub(1)));
+        }
+        probes.push(u64::MAX);
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_high(i) >= v, "high({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_high(i - 1) < v, "bucket {i} not minimal for {v}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 2, 3, 10, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 49);
+    }
+
+    #[test]
+    fn quantiles_track_order_statistics_within_bound() {
+        let mut h = Histogram::new();
+        let mut raw: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            let v = x >> (x % 50);
+            h.record(v);
+            raw.push(v);
+        }
+        raw.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let target = ((q * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
+            let reference = raw[target - 1];
+            let est = h.quantile(q);
+            assert!(est >= reference, "q={q}: {est} < {reference}");
+            assert!(
+                est <= reference + reference / 32 + 1,
+                "q={q}: {est} too far above {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_record() {
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..1000u64 {
+            let s = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(77, 5);
+        for _ in 0..5 {
+            b.record(77);
+        }
+        assert_eq!(a, b);
+        a.record_n(3, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram_is_identity_and_reports_zeros() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.99), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        let mut h = Histogram::new();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&empty);
+        assert_eq!(h, snapshot);
+    }
+}

@@ -4,6 +4,8 @@
 //! (Section 5):
 //! * [`metrics::Metrics`] — routing / rotation / link-change accounting;
 //! * [`runner`] — drive any [`kst_core::Network`] through a trace;
+//! * [`obs`] — `ServeCost`-typed glue onto `kst-obs` (per-request cost
+//!   histograms, rebuild-size histograms, span timelines);
 //! * [`par`] — scoped-thread parallel map for experiment grids;
 //! * [`experiments`] — the paper's workload catalog and per-table
 //!   computations (shared by the `kst-bench` binaries and integration
@@ -16,6 +18,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod regret;
 pub mod runner;
@@ -26,5 +29,6 @@ pub use experiments::{
     RegretSuite, Scale, WORKLOADS,
 };
 pub use metrics::Metrics;
+pub use obs::{run_observed, ObsCollector};
 pub use regret::{regret_eval, regret_eval_against, RegretReport, RegretWindow};
 pub use runner::{run, run_checked, run_windowed};

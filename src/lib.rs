@@ -17,6 +17,9 @@
 //! * [`engine`] (`kst-engine`) — the sharded, multi-threaded
 //!   trace-serving engine (contiguous keyspace shards, per-shard queues,
 //!   batched dispatch, explicit cross-shard router cost model);
+//! * [`obs`] (`kst-obs`) — deterministic observability: log-bucketed
+//!   mergeable cost histograms, a ring-buffer span tracer, the audited
+//!   wall-clock surface, and JSON/chrome-trace exporters;
 //! * [`classic`] (`splaynet-classic`) — the original binary SplayNet
 //!   baseline.
 //!
@@ -36,6 +39,7 @@
 
 pub use kst_core as core;
 pub use kst_engine as engine;
+pub use kst_obs as obs;
 pub use kst_sim as sim;
 pub use kst_statics as statics;
 pub use kst_workloads as workloads;
@@ -48,6 +52,7 @@ pub mod prelude {
         ServeCost, ShapeTree, SplayStrategy, WindowPolicy,
     };
     pub use kst_engine::{EngineConfig, EngineReport, ShardMap, ShardedEngine};
+    pub use kst_obs::{CostHistograms, Histogram, Stopwatch, Tracer};
     pub use kst_sim::{Metrics, RegretReport, Scale};
     pub use kst_statics::{
         centroid_tree, full_kary, optimal_routing_based_tree, static_reference, DistTree,

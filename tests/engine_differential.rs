@@ -9,9 +9,10 @@
 //! 3. the threaded run is bit-identical to the sequential run;
 //! 4. cross-shard requests are charged per the documented router model.
 
-use ksan::engine::{EngineConfig, EngineReport, ShardedEngine};
+use ksan::engine::{EngineConfig, EngineReport, ObsMode, ShardedEngine};
 use ksan::prelude::*;
 use ksan::sim::experiments::{centroid_rebuilder, run_network};
+use ksan::sim::{run_observed, ObsCollector};
 use ksan::statics::StaticNet;
 
 // The engine moves shard nets into worker threads; every network type it
@@ -242,6 +243,113 @@ fn cross_shard_accounting_follows_the_router_model() {
         .filter(|&&(u, v)| map.shard_of(u) != map.shard_of(v))
         .count() as u64;
     assert_eq!(report.cross.requests, expected_cross);
+}
+
+#[test]
+fn observed_cost_histograms_are_bit_identical_across_configs() {
+    // The per-shard cost histograms are built from each shard's FIFO op
+    // stream, which the dispatcher fixes regardless of worker or batch
+    // configuration — so the deterministic observability surfaces must
+    // be bit-identical across every config, exactly like the metrics.
+    let n = 300;
+    let trace = gens::uniform(n, 9000, 31); // plenty of cross-shard traffic
+    let obs_cfg = |threads: usize, batch: usize| {
+        EngineConfig::default()
+            .with_shards(4)
+            .with_threads(threads)
+            .with_batch(batch)
+            .with_obs(ObsMode::Deterministic)
+            .with_obs_events(256)
+    };
+    let reference = ShardedEngine::ksplay(3, n, obs_cfg(1, 1024)).run_trace(&trace);
+    let cost = reference.obs.cost_total();
+    assert!(reference.obs.requests() > 0);
+    assert!(cost.rotations.count() > 0, "splaying must rotate");
+    assert!(cost.routing.p999() >= cost.routing.p99());
+    assert!(cost.routing.p99() >= cost.routing.p50());
+    for (threads, batch) in [(2usize, 1usize), (4, 97), (3, 100_000)] {
+        let got = ShardedEngine::ksplay(3, n, obs_cfg(threads, batch)).run_trace(&trace);
+        // Whole-report equality covers metrics AND the deterministic
+        // observability surfaces (ObsReport's PartialEq).
+        assert_eq!(got, reference, "threads={threads} batch={batch}");
+        assert_eq!(
+            got.obs.cost_total(),
+            cost,
+            "merged histograms diverged (threads={threads} batch={batch})"
+        );
+    }
+
+    // Wall-clock mode: pause/timestamp surfaces differ run to run, but
+    // the deterministic histograms must stay bit-identical — to each
+    // other and to the deterministic-mode run.
+    let wall = |threads: usize| {
+        let cfg = obs_cfg(threads, 97).with_obs(ObsMode::WallClock);
+        ShardedEngine::ksplay(3, n, cfg).run_trace(&trace)
+    };
+    let (a, b) = (wall(1), wall(4));
+    assert_eq!(a.obs, b.obs, "wall-clock noise leaked into obs equality");
+    assert_eq!(a.obs.cost_total(), cost);
+    assert_eq!(b.obs.cost_total(), cost);
+}
+
+#[test]
+fn one_shard_observed_engine_matches_run_observed() {
+    // A 1-shard deterministic-mode engine must build the same cost and
+    // rebuild histograms as kst_sim::run_observed over a standalone net.
+    let n = 96;
+    let trace = gens::temporal(n, 3000, 0.6, 17);
+    let cfg = EngineConfig::default()
+        .with_shards(1)
+        .with_threads(1)
+        .with_obs(ObsMode::Deterministic)
+        .with_obs_events(128);
+    let mut engine = ShardedEngine::ksplay(3, n, cfg);
+    let report = engine.run_trace(&trace);
+
+    let mut net = KSplayNet::balanced(3, n);
+    let mut obs = ObsCollector::new(0, 128);
+    let m = run_observed(&mut net, &trace, &mut obs);
+    assert_eq!(report.per_shard[0], m);
+    assert_eq!(report.obs.per_shard[0].col.cost, obs.cost);
+    assert_eq!(report.obs.per_shard[0].col.rebuild_nodes, obs.rebuild_nodes);
+    assert_eq!(
+        report.obs.per_shard[0].col.rebuild_patches,
+        obs.rebuild_patches
+    );
+    assert_eq!(report.obs.cost_total(), obs.cost);
+}
+
+#[test]
+fn lazy_engine_rebuild_histograms_survive_threading() {
+    // The lazy config is the one whose rebuild distributions the
+    // observability layer exists to expose; its epoch state makes it the
+    // most order-sensitive net here, so thread count must provably not
+    // leak into the rebuild histograms.
+    let n = 400;
+    let trace = gens::temporal(n, 12_000, 0.8, 23);
+    let lazy = |threads: usize| {
+        let cfg = EngineConfig::default()
+            .with_shards(4)
+            .with_threads(threads)
+            .with_batch(64)
+            .with_obs(ObsMode::Deterministic)
+            .with_obs_events(64);
+        ShardedEngine::lazy(4, n, 600, 150, 8, cfg).run_trace(&trace)
+    };
+    let seq = lazy(1);
+    let par = lazy(4);
+    assert_eq!(seq, par);
+    assert!(
+        seq.obs.rebuild_patches_total().count() > 0,
+        "workload must trigger patching rebuilds"
+    );
+    assert_eq!(seq.obs.rebuild_nodes_total(), par.obs.rebuild_nodes_total());
+    assert_eq!(
+        seq.obs.rebuild_patches_total(),
+        par.obs.rebuild_patches_total()
+    );
+    // Deterministic mode never touches a clock: no pause samples.
+    assert!(seq.obs.rebuild_pause_total().is_empty());
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Property tests for the kst-obs histogram: quantile estimates must
+//! track the exact order statistics of the raw sample stream within the
+//! documented bound (exact below 32, ≤ 1/32 relative error above), and
+//! `Histogram::merge` must be a commutative monoid whose folds agree
+//! with sequential recording — the algebra that lets per-shard
+//! histogram partials reduce to the sequential run's distributions in
+//! any grouping, exactly like `Metrics::merge` does for totals.
+
+use ksan::obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// The full u64 range: small exact values and huge octave values alike.
+fn arb_samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![0u64..64, 0u64..100_000, proptest::num::u64::ANY],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_bound_the_sorted_vec_reference(
+        samples in arb_samples(300),
+        qs in proptest::collection::vec(0u32..=1000, 1..6),
+    ) {
+        // Quantiles as permille (the vendored proptest has no f64 ranges).
+        let qs: Vec<f64> = qs.iter().map(|&q| f64::from(q) / 1000.0).collect();
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            for &q in &qs {
+                prop_assert_eq!(h.quantile(q), 0);
+            }
+            return Ok(());
+        }
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for &q in &qs {
+            let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let reference = sorted[target - 1];
+            let est = h.quantile(q);
+            // Never below the true order statistic...
+            prop_assert!(est >= reference, "q={q}: {est} < {reference}");
+            // ...and within one bucket width above it (≤ 1/32 relative).
+            prop_assert!(
+                est <= reference.saturating_add(reference / 32).saturating_add(1),
+                "q={q}: {est} too far above {reference}"
+            );
+            if reference < 32 {
+                prop_assert_eq!(est, reference, "exact below 32, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_samples(120), b in arb_samples(120)) {
+        let (a, b) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_samples(80),
+        b in arb_samples(80),
+        c in arb_samples(80),
+    ) {
+        let (a, b, c) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn new_is_the_identity(a in arb_samples(120)) {
+        let a = hist_of(&a);
+        prop_assert_eq!(merged(&a, &Histogram::new()), a.clone());
+        prop_assert_eq!(merged(&Histogram::new(), &a), a);
+    }
+
+    #[test]
+    fn any_split_merges_to_the_sequential_histogram(
+        samples in arb_samples(200),
+        cut in 0usize..=200,
+    ) {
+        let whole = hist_of(&samples);
+        let cut = cut.min(samples.len());
+        let (lo, hi) = samples.split_at(cut);
+        // Split-and-merge in both orders reproduces sequential recording
+        // bit for bit — the threaded ≡ sequential argument for histograms.
+        prop_assert_eq!(merged(&hist_of(lo), &hist_of(hi)), whole.clone());
+        prop_assert_eq!(merged(&hist_of(hi), &hist_of(lo)), whole);
+    }
+}

@@ -13,6 +13,7 @@
 use ksan::core::alloc_probe::{self, CountingAlloc};
 use ksan::core::lazy::LazyKaryNet;
 use ksan::prelude::*;
+use ksan::sim::ObsCollector;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -118,6 +119,56 @@ fn serve_paths_never_allocate() {
             std::hint::black_box(serve_all(&mut net, &trace));
         });
         assert_eq!(allocs, 0, "ClassicSplayNet allocated");
+    }
+
+    // Observability on the serve path: histogram recording and span
+    // tracing pre-size everything at construction, so serving with a
+    // collector attached stays allocation-free — including after the
+    // ring wraps (capacity far below the request count) and across
+    // rebuild events, which record three extra spans each.
+    {
+        let mut net = KSplayNet::balanced(3, n);
+        let mut obs = ObsCollector::new(0, 64); // 64 ≪ 2000 requests: wraps
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            for &(u, v) in trace.requests() {
+                let c = net.serve(u, v);
+                obs.observe(u, v, c);
+            }
+        });
+        assert_eq!(allocs, 0, "observed KSplayNet serve path allocated");
+        assert_eq!(obs.requests(), 2000);
+        assert!(obs.tracer.dropped() > 0, "ring must have wrapped");
+    }
+    {
+        // Rebuild costs too: a lazy net's serve may allocate at rebuild
+        // epochs (by design, documented below), so record its cost
+        // stream first and replay *observation alone* under the counter
+        // — the rebuild branch (extra histograms + three span events per
+        // rebuild) must also be allocation-free.
+        let mut net = LazyKaryNet::new(
+            3,
+            n,
+            2_500,
+            ksan::core::incremental_weight_balanced_rebuilder(3, 64),
+        );
+        let mut costs: Vec<(NodeKey, NodeKey, ServeCost)> =
+            Vec::with_capacity(trace.requests().len());
+        for &(u, v) in trace.requests() {
+            costs.push((u, v, net.serve(u, v)));
+        }
+        assert!(
+            costs.iter().any(|&(_, _, c)| c.rebuild_patches > 0),
+            "trace must trigger patching rebuilds"
+        );
+        let mut obs = ObsCollector::new(0, 128);
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            for &(u, v, c) in &costs {
+                obs.observe(u, v, c);
+            }
+        });
+        assert_eq!(allocs, 0, "observing rebuild costs allocated");
+        assert_eq!(obs.requests(), 2000);
+        assert!(obs.rebuild_patches.count() > 0);
     }
 
     // Lazy nets are static between rebuilds. The sparse epoch ledger
