@@ -1,0 +1,133 @@
+//! Live-resharding costs, the two numbers the feature trades between:
+//!
+//! * **migration pause** — the synchronous extract/absorb splice that
+//!   moves a boundary run of L keys between two neighbouring shard trees
+//!   (the engine applies it between epochs, so this is dead time on the
+//!   dispatch path);
+//! * **post-migration throughput** — steady-state serving after the
+//!   boundaries have settled, compared against the static partition on
+//!   the same boundary-straddling phase-shift workload and against the
+//!   engine's own pre-migration (resharding-off) run.
+//!
+//! The printed report states the measured total-cost win of live
+//! resharding over the static partition — the `results/resharding.md`
+//! acceptance number, reproduced here at bench scale on every CI run.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use kst_core::{KSplayNet, Reshardable};
+use kst_engine::{EngineConfig, ReshardConfig, ShardedEngine};
+use kst_workloads::gens;
+use std::hint::black_box;
+
+const N: usize = 200_000;
+const SHARDS: usize = 8;
+const BATCH: usize = 100_000;
+const K: usize = 4;
+
+fn build_trace() -> kst_workloads::Trace {
+    gens::boundary_phase_shift(N, BATCH, SHARDS, BATCH / 4, 0.9, 13)
+}
+
+fn reshard_config() -> ReshardConfig {
+    let mut rc = ReshardConfig::on();
+    rc.epoch = 10_000;
+    rc.budget = 64;
+    rc
+}
+
+/// One round-trip splice per iteration: extract L keys from the donor's
+/// high end, absorb into the receiver's low end, then move them back —
+/// both trees end each iteration at their original size, so the timing
+/// is 2× the pause of one L-key migration.
+fn bench_migration_pause(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reshard_migration_pause");
+    for l in [64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(2 * l as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let mut donor = KSplayNet::balanced(K, N / SHARDS);
+            let mut receiver = KSplayNet::balanced(K, N / SHARDS);
+            b.iter(|| {
+                let (frag, _) = donor.extract_high(black_box(l));
+                receiver.absorb_low(&frag);
+                let (back, _) = receiver.extract_low(l);
+                donor.absorb_high(&back);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_post_migration_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reshard_serve_boundary");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let trace = build_trace();
+    // Static partition: every hot request stays cross-shard forever.
+    group.bench_with_input(BenchmarkId::from_parameter("static"), &(), |b, _| {
+        let cfg = EngineConfig::default().with_shards(SHARDS).with_threads(1);
+        let mut engine = ShardedEngine::ksplay(K, N, cfg);
+        engine.run_trace(&trace); // converge the gateways before timing
+        b.iter(|| {
+            let report = engine.run_trace(black_box(&trace));
+            report.total().routing
+        });
+    });
+    // Live resharding: the warm run migrates the hot boundaries, timed
+    // iterations measure the post-migration steady state (the ledger and
+    // planner still run every epoch — their cost is part of the number).
+    group.bench_with_input(BenchmarkId::from_parameter("resharding"), &(), |b, _| {
+        let cfg = EngineConfig::default()
+            .with_shards(SHARDS)
+            .with_threads(1)
+            .with_reshard(reshard_config());
+        let mut engine = ShardedEngine::ksplay(K, N, cfg);
+        let warm = engine.run_trace(&trace);
+        assert!(warm.reshard.migrations > 0, "warmup must migrate");
+        b.iter(|| {
+            let report = engine.run_trace(black_box(&trace));
+            report.total().routing
+        });
+    });
+    group.finish();
+}
+
+/// Prints the total-cost win of live resharding over the static
+/// partition on the boundary workload (the results/resharding.md
+/// acceptance number at bench scale) and fails the smoke run if the
+/// migrations stopped paying for themselves.
+fn report_resharding_win() {
+    let trace = build_trace();
+    let run = |reshard: bool| {
+        let mut cfg = EngineConfig::default().with_shards(SHARDS).with_threads(1);
+        if reshard {
+            cfg = cfg.with_reshard(reshard_config());
+        }
+        ShardedEngine::ksplay(K, N, cfg).run_trace(&trace)
+    };
+    let stat = run(false);
+    let live = run(true);
+    let stat_cost = stat.total().total_unit_cost();
+    let live_cost = live.total().total_unit_cost();
+    let win = 100.0 * (stat_cost as f64 - live_cost as f64) / stat_cost as f64;
+    println!(
+        "reshard: {} migrations ({} keys) cut total cost {:.1}% vs the static \
+         partition ({} vs {}); cross-shard {:.1}% -> {:.1}%",
+        live.reshard.migrations,
+        live.reshard.keys_moved,
+        win,
+        live_cost,
+        stat_cost,
+        stat.cross_fraction() * 100.0,
+        live.cross_fraction() * 100.0,
+    );
+    assert!(
+        live_cost * 10 <= stat_cost * 9,
+        "live resharding fell below the 10% win bar ({live_cost} vs {stat_cost})"
+    );
+}
+
+criterion_group!(benches, bench_migration_pause, bench_post_migration_serve);
+
+fn main() {
+    benches();
+    report_resharding_win();
+}

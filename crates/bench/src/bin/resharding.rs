@@ -1,0 +1,164 @@
+//! Live-resharding experiment (`results/resharding.md`): the demand-aware
+//! dispatch layer against the static partition on phase-shifting
+//! boundary-straddling traffic — the regime where a fixed partition pays
+//! two gateway half-serves plus the router charge on every hot request
+//! forever, while live resharding shifts the hot boundary by a few keys
+//! and serves the pair locally. A uniform control row checks the planner
+//! does no harm when there is nothing to heal, and a second table prices
+//! the self-adjusting k-splay router spine against the flat star on
+//! skewed cross-shard traffic.
+
+#![forbid(unsafe_code)]
+
+use kst_bench::write_report;
+use kst_engine::{EngineConfig, EngineReport, ReshardConfig, ShardedEngine, SpineMode};
+use kst_sim::table::Table;
+use kst_workloads::{gens, Trace};
+
+const K: usize = 4;
+
+fn run(n: usize, trace: &Trace, cfg: EngineConfig) -> EngineReport {
+    ShardedEngine::ksplay(K, n, cfg).run_trace(trace)
+}
+
+fn main() {
+    let m: usize = std::env::var("KSAN_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let threads: usize = std::env::var("KSAN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let n = 2048;
+    let shards = 8;
+    let mut rc = ReshardConfig::on();
+    rc.epoch = (m / 40).max(1);
+    rc.budget = 64;
+    // Demand units are smoothed request counts: requiring a gain of ~10%
+    // of an epoch keeps uniform noise from triggering churn migrations
+    // while boundary-straddling hot pairs (~p_hot * epoch demand,
+    // compounded by the decaying ledger) clear the bar by an order of
+    // magnitude.
+    rc.min_gain = (rc.epoch / 10).max(1) as u64;
+
+    let base = EngineConfig::default()
+        .with_shards(shards)
+        .with_threads(threads);
+
+    // Table 1: live resharding vs the static partition.
+    let workloads = vec![
+        (
+            "boundary phase-shift p=0.9",
+            gens::boundary_phase_shift(n, m, shards, m / 8, 0.9, 11),
+        ),
+        (
+            "boundary phase-shift p=0.6",
+            gens::boundary_phase_shift(n, m, shards, m / 8, 0.6, 12),
+        ),
+        ("uniform (control)", gens::uniform(n, m, 13)),
+    ];
+    let mut tab = Table::new(&[
+        "Workload",
+        "static cost",
+        "resharding cost",
+        "win",
+        "migrations",
+        "keys moved",
+        "cross static",
+        "cross live",
+        "map version",
+    ]);
+    for (name, trace) in &workloads {
+        let stat = run(n, trace, base.clone());
+        let live = run(n, trace, base.clone().with_reshard(rc));
+        let sc = stat.total().total_unit_cost();
+        let lc = live.total().total_unit_cost();
+        tab.row(vec![
+            name.to_string(),
+            sc.to_string(),
+            lc.to_string(),
+            format!("{:.1}%", 100.0 * (sc as f64 - lc as f64) / sc as f64),
+            live.reshard.migrations.to_string(),
+            live.reshard.keys_moved.to_string(),
+            format!("{:.1}%", stat.cross_fraction() * 100.0),
+            format!("{:.1}%", live.cross_fraction() * 100.0),
+            live.reshard.map_version.to_string(),
+        ]);
+    }
+
+    // Table 2: the self-adjusting router spine vs the flat star, on
+    // traffic whose *cross-shard* demand is skewed (Zipf endpoints make a
+    // few shard pairs dominate the gateway traffic).
+    let spine_workloads = vec![
+        (
+            "single hot cross pair",
+            Trace::new(n, vec![(1, n as u32); m]),
+        ),
+        ("temporal 0.9", gens::temporal(n, m, 0.9, 21)),
+        ("uniform", gens::uniform(n, m, 22)),
+    ];
+    let mut spine_tab = Table::new(&[
+        "Workload",
+        "star cost",
+        "spine cost",
+        "win",
+        "star router hops",
+        "spine router cost",
+    ]);
+    for (name, trace) in &spine_workloads {
+        let star = run(n, trace, base.clone());
+        let spine = run(
+            n,
+            trace,
+            base.clone().with_spine(SpineMode::KSplay { k: 2 }),
+        );
+        let sc = star.total().total_unit_cost();
+        let pc = spine.total().total_unit_cost();
+        spine_tab.row(vec![
+            name.to_string(),
+            sc.to_string(),
+            pc.to_string(),
+            format!("{:.1}%", 100.0 * (sc as f64 - pc as f64) / sc as f64),
+            star.router_hops.to_string(),
+            spine.router_hops.to_string(),
+        ]);
+    }
+
+    let mut report = format!(
+        "# Live resharding & router spine\n\n\
+         engine: {shards} shards x {threads} thread(s), one balanced \
+         {K}-ary SplayNet per shard, n={n}, m={m}; resharding epoch \
+         {}, budget {} keys, donor floor {} keys.\n\n\
+         ## Live resharding vs the static partition\n\n",
+        rc.epoch, rc.budget, rc.min_shard
+    );
+    report.push_str(&tab.to_markdown());
+    report.push_str(
+        "\n`cost` is total unit cost (routing + rotations, gateway \
+         half-serves and router charges included). The boundary \
+         phase-shift workloads aim their hot pairs exactly across shard \
+         boundaries — the static partition pays the full cross-shard \
+         decomposition on every hot request, while live resharding \
+         migrates a handful of boundary keys at epoch ends and converts \
+         the pairs to intra-shard traffic (the `cross` columns). The \
+         uniform control shows the armed planner staying close to no-op \
+         when demand is flat.\n\n## k-splay router spine vs the flat star\n\n",
+    );
+    report.push_str(&spine_tab.to_markdown());
+    report.push_str(
+        "\nThe star charges a flat 2 hops per cross-shard request; the \
+         self-adjusting spine (a k-splay net over the shard gateways) \
+         pulls hot shard pairs adjacent and serves them at 1 hop, paying \
+         rotations to keep adapting — a win exactly when cross-shard \
+         demand concentrates on few shard pairs (a hot pair converges to \
+         half the star's charge; temporal runs keep re-converging), and a \
+         small loss on demand with nothing to learn (`uniform`, where \
+         every gateway pair is equally likely and the spine pays tree \
+         distance plus rotations against the star's flat 2).\n",
+    );
+    match write_report("resharding.md", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write resharding.md: {e}"),
+    }
+}

@@ -34,6 +34,15 @@ const ROOT_NAMES: &[(&str, Option<&str>)] = &[
     ("splay_until", None),
     ("distance_lca", None),
     ("worker_loop", None),
+    // kst-engine dispatch helpers: the shared ShardMap routing
+    // decomposition, the router-spine charge, and the sequential serve
+    // entry point must stay allocation-free outside the documented
+    // cold paths (epoch-boundary resharding, threaded setup/teardown).
+    ("route_request", None),
+    ("router_serve", None),
+    ("serve_one", Some("ShardedEngine")),
+    ("shard_of", Some("ShardMap")),
+    ("gateway", Some("ShardMap")),
     // kst-obs: everything a serve loop touches when a collector is
     // attached must be allocation-free, whether or not a test executed
     // that branch (the rebuild spans, the wrapped ring, ...).

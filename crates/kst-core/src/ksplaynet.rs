@@ -11,9 +11,11 @@
 
 use crate::key::{NodeIdx, NodeKey};
 use crate::net::{Network, ServeCost};
+use crate::reshard::Reshardable;
 use crate::restructure::WindowPolicy;
+use crate::shape::ShapeTree;
 use crate::splay::{SplayStats, SplayStrategy};
-use crate::tree::KstTree;
+use crate::tree::{End, KstTree, PatchStats};
 
 /// Online self-adjusting k-ary search tree network.
 #[derive(Clone)]
@@ -165,6 +167,32 @@ impl Network for KSplayNet {
 
     fn label(&self) -> String {
         format!("{}-ary SplayNet", self.tree.k())
+    }
+}
+
+impl Reshardable for KSplayNet {
+    fn extract_low(&mut self, count: usize) -> (ShapeTree, PatchStats) {
+        self.tree.extract_range(1, count as NodeKey)
+    }
+
+    fn extract_high(&mut self, count: usize) -> (ShapeTree, PatchStats) {
+        let n = self.tree.n();
+        self.tree
+            .extract_range((n - count + 1) as NodeKey, n as NodeKey)
+    }
+
+    fn absorb_low(&mut self, fragment: &ShapeTree) -> PatchStats {
+        let stats = self.tree.absorb_fragment(End::Low, fragment);
+        // The tree grew: keep the zero-allocation serve guarantee by
+        // re-sizing scratch for the strategy's span before serving resumes.
+        self.tree.reserve_scratch(self.strategy.span());
+        stats
+    }
+
+    fn absorb_high(&mut self, fragment: &ShapeTree) -> PatchStats {
+        let stats = self.tree.absorb_fragment(End::High, fragment);
+        self.tree.reserve_scratch(self.strategy.span());
+        stats
     }
 }
 

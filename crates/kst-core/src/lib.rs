@@ -39,6 +39,7 @@ pub mod ksplaynet;
 pub mod lazy;
 pub mod net;
 pub mod pushdown;
+pub mod reshard;
 pub mod restructure;
 pub mod rotor;
 pub mod routing;
@@ -83,8 +84,9 @@ pub use lazy::{
 };
 pub use net::{Network, ServeCost};
 pub use pushdown::PushDownNet;
+pub use reshard::Reshardable;
 pub use restructure::{RestructureStats, WindowPolicy};
 pub use rotor::RotorWalkNet;
 pub use shape::ShapeTree;
 pub use splay::{SplayStats, SplayStrategy};
-pub use tree::{KstTree, PatchStats};
+pub use tree::{End, KstTree, PatchStats};

@@ -101,6 +101,28 @@ pub struct PatchStats {
     pub nodes: u64,
 }
 
+impl PatchStats {
+    /// Accumulates another patch's cost into this one.
+    pub fn absorb(&mut self, other: PatchStats) {
+        self.links_changed += other.links_changed;
+        self.nodes += other.nodes;
+    }
+}
+
+/// Which end of the keyspace a [`KstTree::absorb_fragment`] attaches to.
+///
+/// Live resharding only ever moves **boundary runs** between neighbouring
+/// shards (a shard's keyspace must stay contiguous), so a fragment either
+/// becomes the new lowest keys (`Low`, every existing key is renumbered
+/// up) or the new highest keys (`High`, existing keys keep their numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    /// Prepend: fragment keys become `1..=f`, existing keys shift up by `f`.
+    Low,
+    /// Append: fragment keys become `n+1..=n+f`, existing keys unchanged.
+    High,
+}
+
 impl KstTree {
     /// Builds a tree realizing `shape` with keys assigned in-order and a
     /// valid routing-element layout. Panics if any shape node has more than
@@ -480,6 +502,359 @@ impl KstTree {
         }
     }
 
+    /// Captures the shape of the subtree rooted at `r` (child order and
+    /// own-key gaps), so the subtree can be re-materialized elsewhere with
+    /// [`KstTree::patch_subtree`] / [`KstTree::absorb_fragment`]. O(subtree).
+    pub fn subtree_shape(&self, r: NodeIdx) -> ShapeTree {
+        let mut shape = ShapeTree {
+            children: Vec::new(),
+            key_gap: Vec::new(),
+            root: 0,
+        };
+        // DFS; arena children are pushed in reverse slot order so each
+        // parent's shape-child list is appended in slot (= key) order.
+        let mut stack: Vec<(NodeIdx, u32)> = vec![(r, u32::MAX)];
+        while let Some((v, ps)) = stack.pop() {
+            let id = shape.children.len() as u32;
+            shape.children.push(Vec::new());
+            let own = idx_to_key(v);
+            let gap = self
+                .children(v)
+                .iter()
+                .filter(|&&c| c != NIL && idx_to_key(c) < own)
+                .count();
+            shape.key_gap.push(gap as u8);
+            if ps == u32::MAX {
+                shape.root = id;
+            } else {
+                shape.children[ps as usize].push(id);
+            }
+            for &c in self.children(v).iter().rev() {
+                if c != NIL {
+                    stack.push((c, id));
+                }
+            }
+        }
+        shape
+    }
+
+    /// Splices the boundary key run `[lo, hi]` out of the tree and returns
+    /// its shape plus the restructuring cost, shrinking the tree to the
+    /// remaining `n − (hi − lo + 1)` keys. The run must touch an end of the
+    /// keyspace (`lo == 1` or `hi == n`) — live resharding only moves
+    /// boundary runs, and only boundary runs keep the remainder contiguous.
+    ///
+    /// Two-phase, mirroring the lazy rebuild machinery: if the run is not
+    /// already an exact subtree, a **connector patch** first re-forms the
+    /// minimal enclosing subtree (via [`KstTree::patch_subtree`]) so the
+    /// run hangs off a single anchor edge; the run's subtree is then
+    /// detached and the arena compacted. On a `Low` extraction the
+    /// remaining keys are renumbered down by `hi` (key `κ` lives at index
+    /// `κ − 1` forever, so renumbering is an arena shift) and every
+    /// routing element / stored bound is translated with it; remaining
+    /// elements *below* the first surviving key image — leading empty-slot
+    /// elements left behind by past rotations — are order-preservingly
+    /// compressed into `1, 2, …` so no transform can underflow.
+    ///
+    /// The returned [`PatchStats`] counts the connector patch plus the
+    /// detached anchor link; the fragment's internal links are charged by
+    /// the matching [`KstTree::absorb_fragment`] on the receiving tree.
+    /// Cold-path: allocates freely (runs at migration boundaries only).
+    ///
+    /// Panics if the run is empty, covers the whole tree, or is interior.
+    pub fn extract_range(&mut self, lo: NodeKey, hi: NodeKey) -> (ShapeTree, PatchStats) {
+        let k = self.k;
+        let km1 = k - 1;
+        let n = self.n;
+        assert!(
+            lo >= 1 && lo <= hi && (hi as usize) <= n,
+            "extract range [{lo},{hi}] outside keyspace 1..={n}"
+        );
+        let size = (hi - lo + 1) as usize;
+        assert!(size < n, "cannot extract the whole tree");
+        assert!(
+            lo == 1 || hi as usize == n,
+            "extract range [{lo},{hi}] must touch a keyspace boundary (n={n})"
+        );
+        let lo_img = key_image(lo);
+        let hi_img = key_image(hi);
+        let mut stats = PatchStats::default();
+        // 1. Find the minimal subtree containing the run: descend while the
+        //    node's key is outside [lo, hi] and both endpoints route into
+        //    the same child slot.
+        let mut r = self.root;
+        loop {
+            let rk = idx_to_key(r);
+            if lo <= rk && rk <= hi {
+                break;
+            }
+            let es = self.elems(r);
+            let j = es.partition_point(|&e| e < lo_img);
+            if j != es.partition_point(|&e| e < hi_img) {
+                break;
+            }
+            let c = self.children(r)[j];
+            debug_assert!(c != NIL, "boundary run routes into an empty slot");
+            r = c;
+        }
+        // 2. Grow the containing subtree until its key set is contiguous
+        //    (a node's own image may sit inside a *child's* gap interval —
+        //    a legal "shadow" state after rotations — so a subtree's key
+        //    span can include keys living at its ancestors; the whole tree
+        //    is always contiguous, so this terminates at the root). If the
+        //    contiguous cover is larger than [lo, hi], re-form it with a
+        //    connector so the run becomes an exact subtree. Each node is
+        //    visited at most once across the growth, so this is O(cover).
+        fn tally(
+            t: &KstTree,
+            seed: NodeIdx,
+            stack: &mut Vec<NodeIdx>,
+            count: &mut usize,
+            kmin: &mut NodeKey,
+            kmax: &mut NodeKey,
+        ) {
+            stack.push(seed);
+            while let Some(v) = stack.pop() {
+                *count += 1;
+                *kmin = (*kmin).min(idx_to_key(v));
+                *kmax = (*kmax).max(idx_to_key(v));
+                for &c in t.children(v) {
+                    if c != NIL {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        let (mut count, mut kmin, mut kmax) = (0usize, NodeKey::MAX, 0 as NodeKey);
+        {
+            let mut stack: Vec<NodeIdx> = Vec::new();
+            tally(self, r, &mut stack, &mut count, &mut kmin, &mut kmax);
+            while (kmax - kmin + 1) as usize != count {
+                let p = self.parent(r);
+                debug_assert!(p != NIL, "whole keyspace must be contiguous");
+                count += 1;
+                kmin = kmin.min(idx_to_key(p));
+                kmax = kmax.max(idx_to_key(p));
+                for j in 0..k {
+                    let c = self.children(p)[j];
+                    if c != NIL && c != r {
+                        tally(self, c, &mut stack, &mut count, &mut kmin, &mut kmax);
+                    }
+                }
+                r = p;
+            }
+        }
+        let (a, b) = (kmin, kmax);
+        debug_assert!(a <= lo && hi <= b);
+        debug_assert!(if lo == 1 { a == 1 } else { b as usize == n });
+        if (a, b) != (lo, hi) {
+            let mut conn = ShapeTree {
+                children: Vec::new(),
+                key_gap: Vec::new(),
+                root: 0,
+            };
+            // Connector root = the key adjacent to the run; the run itself
+            // and the rest of the covered range hang off it as balanced
+            // subtrees, so the run is an exact subtree afterwards.
+            let (left, right, gap) = if lo == 1 {
+                // root key hi+1: [1, hi] | hi+1 | [hi+2, b]
+                (size, (b - hi - 1) as usize, 1u8)
+            } else {
+                // root key lo−1: [a, lo−2] | lo−1 | [lo, n]
+                let left = (lo - 1 - a) as usize;
+                (left, size, u8::from(left > 0))
+            };
+            let mut kids = Vec::new();
+            if left > 0 {
+                kids.push(conn.push_balanced_subtree(left, k));
+            }
+            if right > 0 {
+                kids.push(conn.push_balanced_subtree(right, k));
+            }
+            let root = conn.push_leaf();
+            conn.children[root as usize] = kids;
+            conn.key_gap[root as usize] = gap;
+            conn.root = root;
+            stats.absorb(self.patch_subtree(a, b, &conn));
+        }
+        // 3. Re-locate the (now exact) run subtree, keeping its anchor.
+        let mut anchor = NIL;
+        let mut anchor_slot = usize::MAX;
+        let mut r = self.root;
+        loop {
+            let rk = idx_to_key(r);
+            if lo <= rk && rk <= hi {
+                break;
+            }
+            let es = self.elems(r);
+            let j = es.partition_point(|&e| e < lo_img);
+            debug_assert_eq!(j, es.partition_point(|&e| e < hi_img));
+            anchor = r;
+            anchor_slot = j;
+            r = self.children(r)[j];
+        }
+        assert!(anchor != NIL, "boundary run of size < n cannot be the root");
+        let shape = self.subtree_shape(r);
+        debug_assert_eq!(shape.len(), size);
+        // 4. Detach the run and compact the arena.
+        self.children_mut(anchor)[anchor_slot] = NIL;
+        stats.links_changed += 1;
+        let new_n = n - size;
+        if hi as usize == n && lo > 1 {
+            // High run: keys 1..=new_n keep their numbers; drop the tail.
+            self.parent.truncate(new_n);
+            self.elems.truncate(new_n * km1);
+            self.children.truncate(new_n * k);
+            self.lo.truncate(new_n);
+            self.hi.truncate(new_n);
+        } else {
+            // Low run: renumber keys down by f = hi. Remaining elements
+            // below image(f+1) (leading empty-slot values) are compressed
+            // order-preservingly into 1, 2, …, which stays strictly below
+            // every shifted image/element, so global element order — and
+            // with it every gap-containment invariant — is preserved.
+            let f = size;
+            let img_f = key_image(f as NodeKey);
+            let next_img = key_image((f + 1) as NodeKey);
+            let mut small: Vec<(RoutingKey, usize)> = Vec::new();
+            for flat in f * km1..n * km1 {
+                if self.elems[flat] < next_img {
+                    small.push((self.elems[flat], flat));
+                }
+            }
+            small.sort_unstable();
+            debug_assert!(small.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(
+                (small.len() as u64) < key_image(1),
+                "routing-element space exhausted"
+            );
+            for (rank, &(_, flat)) in small.iter().enumerate() {
+                self.elems[flat] = rank as RoutingKey + 1;
+            }
+            let sub = |v: NodeIdx| if v == NIL { NIL } else { v - f as NodeIdx };
+            for i in 0..new_n {
+                self.parent[i] = sub(self.parent[i + f]);
+                for j in 0..k {
+                    self.children[i * k + j] = sub(self.children[(i + f) * k + j]);
+                }
+                for j in 0..km1 {
+                    let e = self.elems[(i + f) * km1 + j];
+                    self.elems[i * km1 + j] = if e >= next_img { e - img_f } else { e };
+                }
+                // Stored bounds stay safe supersets: lo shrinks to 0 when
+                // it referenced the compressed region, hi widens to the
+                // first surviving image.
+                let slo = self.lo[i + f];
+                self.lo[i] = if slo >= next_img { slo - img_f } else { 0 };
+                let shi = self.hi[i + f];
+                self.hi[i] = if shi == RoutingKey::MAX {
+                    RoutingKey::MAX
+                } else if shi >= next_img {
+                    shi - img_f
+                } else {
+                    key_image(1)
+                };
+            }
+            self.parent.truncate(new_n);
+            self.elems.truncate(new_n * km1);
+            self.children.truncate(new_n * k);
+            self.lo.truncate(new_n);
+            self.hi.truncate(new_n);
+            self.root -= f as NodeIdx;
+        }
+        self.n = new_n;
+        (shape, stats)
+    }
+
+    /// Grafts a fragment of `f` keys onto one end of the keyspace, growing
+    /// the tree to `n + f` keys — the receiving half of a live-resharding
+    /// hand-off (the donor side is [`KstTree::extract_range`]). `End::High`
+    /// appends the fragment as keys `n+1..=n+f`; `End::Low` renumbers the
+    /// existing keys up by `f` (arena shift, elements and stored bounds
+    /// translated with the keys) and materializes the fragment as keys
+    /// `1..=f`. Either way the fragment is re-formed in the deepest
+    /// boundary gap via the same greedy element placement as a rebuild, so
+    /// all arena invariants hold afterwards.
+    ///
+    /// Returns the attachment cost: the fragment's `f − 1` internal links
+    /// plus its anchor link (the donor charged the detach separately).
+    /// Cold-path: allocates freely (runs at migration boundaries only).
+    pub fn absorb_fragment(&mut self, end: End, fragment: &ShapeTree) -> PatchStats {
+        let k = self.k;
+        let km1 = k - 1;
+        let f = fragment.len();
+        assert!(f >= 1, "cannot absorb an empty fragment");
+        fragment
+            .validate(k)
+            // ksan-allow: panic-surface absorb contract — an invalid fragment is a caller bug and validate carries the diagnostic
+            .expect("fragment incompatible with requested arity");
+        let old_n = self.n;
+        let new_n = old_n + f;
+        assert!(
+            (new_n as u64) < (u32::MAX as u64),
+            "node count must fit in u32 keys"
+        );
+        self.parent.resize(new_n, NIL);
+        self.elems.resize(new_n * km1, 0);
+        self.children.resize(new_n * k, NIL);
+        self.lo.resize(new_n, 0);
+        self.hi.resize(new_n, 0);
+        self.n = new_n;
+        match end {
+            End::High => {
+                // Deepest right-boundary node; its last gap is (max
+                // element, MAX) and every new image lies above it.
+                let mut w = self.root;
+                while self.children(w)[k - 1] != NIL {
+                    w = self.children(w)[k - 1];
+                }
+                let glo = self.elems(w)[km1 - 1];
+                debug_assert!(glo < key_image((old_n + 1) as NodeKey));
+                let root_frag =
+                    self.write_fragment(fragment, (old_n + 1) as NodeKey, glo, RoutingKey::MAX);
+                self.children_mut(w)[k - 1] = root_frag;
+                self.set_parent(root_frag, w);
+            }
+            End::Low => {
+                // Renumber existing keys up by f: shift arena windows,
+                // translate elements by image(f), keep left-spine stored
+                // lo at 0 (the exact bound there stays 0) and saturate hi
+                // so MAX stays MAX.
+                let img_f = key_image(f as NodeKey);
+                let add = |v: NodeIdx| if v == NIL { NIL } else { v + f as NodeIdx };
+                for i in (0..old_n).rev() {
+                    let ni = i + f;
+                    self.parent[ni] = add(self.parent[i]);
+                    for j in 0..k {
+                        self.children[ni * k + j] = add(self.children[i * k + j]);
+                    }
+                    for j in 0..km1 {
+                        self.elems[ni * km1 + j] = self.elems[i * km1 + j] + img_f;
+                    }
+                    let slo = self.lo[i];
+                    self.lo[ni] = if slo == 0 { 0 } else { slo + img_f };
+                    self.hi[ni] = self.hi[i].saturating_add(img_f);
+                }
+                self.root += f as NodeIdx;
+                // Deepest left-boundary node; its first gap is (0, first
+                // element) and holds every new image with room to spare.
+                let mut w = self.root;
+                while self.children(w)[0] != NIL {
+                    w = self.children(w)[0];
+                }
+                let ghi = self.elems(w)[0];
+                debug_assert!(ghi > img_f);
+                let root_frag = self.write_fragment(fragment, 1, 0, ghi);
+                self.children_mut(w)[0] = root_frag;
+                self.set_parent(root_frag, w);
+            }
+        }
+        PatchStats {
+            links_changed: f as u64,
+            nodes: f as u64,
+        }
+    }
+
     /// Builds the complete (balanced) k-ary search tree on `n` nodes.
     ///
     /// ```
@@ -787,6 +1162,140 @@ mod tests {
         for (a, b, c) in [(0u32, 5u32, 17u32), (3, 30, 12), (8, 9, 39)] {
             assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
         }
+    }
+
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    #[test]
+    fn subtree_shape_round_trips_through_from_shape() {
+        for k in 2..=5usize {
+            for n in [1usize, 2, 7, 40, 121] {
+                let t = KstTree::balanced(k, n);
+                let s = t.subtree_shape(t.root());
+                assert_eq!(s.len(), n);
+                s.validate(k).unwrap();
+                let t2 = KstTree::from_shape(k, &s);
+                validate(&t2).unwrap();
+                // Same topology: every node keeps its parent key.
+                for v in t.nodes() {
+                    assert_eq!(t2.parent(v), t.parent(v), "k={k} n={n} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_then_absorb_preserves_validity() {
+        for k in 2..=5usize {
+            for n in [10usize, 37, 100] {
+                for cut in [1usize, 3, n / 2] {
+                    // High run moves to a fresh receiver's low end.
+                    let mut donor = KstTree::balanced(k, n);
+                    let (shape, stats) =
+                        donor.extract_range((n - cut + 1) as NodeKey, n as NodeKey);
+                    assert_eq!(donor.n(), n - cut);
+                    assert_eq!(shape.len(), cut);
+                    assert!(stats.links_changed >= 1);
+                    validate(&donor).unwrap_or_else(|e| panic!("donor k={k} n={n} cut={cut}: {e}"));
+                    let mut recv = KstTree::balanced(k, n);
+                    let astats = recv.absorb_fragment(End::Low, &shape);
+                    assert_eq!(recv.n(), n + cut);
+                    assert_eq!(astats.nodes, cut as u64);
+                    validate(&recv).unwrap_or_else(|e| panic!("recv k={k} n={n} cut={cut}: {e}"));
+
+                    // Low run moves to a fresh receiver's high end.
+                    let mut donor = KstTree::balanced(k, n);
+                    let (shape, _) = donor.extract_range(1, cut as NodeKey);
+                    assert_eq!(donor.n(), n - cut);
+                    validate(&donor)
+                        .unwrap_or_else(|e| panic!("low donor k={k} n={n} cut={cut}: {e}"));
+                    let mut recv = KstTree::balanced(k, n);
+                    recv.absorb_fragment(End::High, &shape);
+                    assert_eq!(recv.n(), n + cut);
+                    validate(&recv)
+                        .unwrap_or_else(|e| panic!("high recv k={k} n={n} cut={cut}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_absorb_after_rotation_history_stays_valid() {
+        // The hard case: arbitrary serve history scatters routing elements
+        // (leading empty-slot values below the first image included), so
+        // the renumbering transforms must hold on *rotated* trees, not
+        // just fresh balanced ones.
+        use crate::ksplaynet::KSplayNet;
+        use crate::net::Network;
+        for k in [2usize, 3, 5] {
+            let n = 60usize;
+            let mut a = KSplayNet::balanced(k, n);
+            let mut b = KSplayNet::balanced(k, n);
+            let mut x = 99u64;
+            for round in 0..8 {
+                for _ in 0..40 {
+                    let u = (xorshift(&mut x) % a.len() as u64 + 1) as NodeKey;
+                    let v = (xorshift(&mut x) % a.len() as u64 + 1) as NodeKey;
+                    if u != v {
+                        a.serve(u, v);
+                    }
+                    let u = (xorshift(&mut x) % b.len() as u64 + 1) as NodeKey;
+                    let v = (xorshift(&mut x) % b.len() as u64 + 1) as NodeKey;
+                    if u != v {
+                        b.serve(u, v);
+                    }
+                }
+                // Shuttle a run from a's high end to b's low end and back
+                // the other way, exercising all four end combinations.
+                let cut = 1 + (round % 5) as usize;
+                let an = a.tree().n();
+                let (shape, _) = a
+                    .tree_mut()
+                    .extract_range((an - cut + 1) as NodeKey, an as NodeKey);
+                b.tree_mut().absorb_fragment(End::Low, &shape);
+                let (shape, _) = b.tree_mut().extract_range(1, (2 * cut) as NodeKey);
+                a.tree_mut().absorb_fragment(End::High, &shape);
+                validate(a.tree()).unwrap_or_else(|e| panic!("a k={k} round={round}: {e}"));
+                validate(b.tree()).unwrap_or_else(|e| panic!("b k={k} round={round}: {e}"));
+            }
+            assert_eq!(a.len() + b.len(), 2 * n);
+            // Both trees still serve correctly after the shuttling.
+            for _ in 0..50 {
+                let u = (xorshift(&mut x) % a.len() as u64 + 1) as NodeKey;
+                let v = (xorshift(&mut x) % a.len() as u64 + 1) as NodeKey;
+                if u != v {
+                    a.serve(u, v);
+                    assert_eq!(a.distance(u, v), 1);
+                }
+            }
+            validate(a.tree()).unwrap();
+        }
+    }
+
+    #[test]
+    fn absorb_into_single_node_tree() {
+        for k in 2..=4usize {
+            for end in [End::Low, End::High] {
+                let mut t = KstTree::balanced(k, 1);
+                let frag = ShapeTree::balanced_kary(5, k);
+                let stats = t.absorb_fragment(end, &frag);
+                assert_eq!(t.n(), 6);
+                assert_eq!(stats.links_changed, 5);
+                validate(&t).unwrap_or_else(|e| panic!("k={k} {end:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary")]
+    fn extract_interior_range_panics() {
+        let mut t = KstTree::balanced(3, 20);
+        let _ = t.extract_range(5, 10);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //!
 //! # Cost model
 //!
-//! The keyspace `1..=n` is partitioned into `S` contiguous shards; shard
-//! `s` runs one independent [`Network`] over its local keyspace and a
-//! top-level **router** (a star over the shards' gateway nodes) stitches
-//! the shards together. A request `(u, v)` is charged as follows:
+//! The keyspace `1..=n` is partitioned into `S` contiguous shards by a
+//! **versioned range table** ([`ShardMap`]); shard `s` runs one
+//! independent [`Network`] over its local keyspace and a top-level
+//! **router** stitches the shards together. A request `(u, v)` is
+//! charged as follows:
 //!
 //! * **intra-shard** (`shard(u) == shard(v)`): exactly the shard net's
 //!   [`Network::serve`] cost on the locally remapped endpoints — the same
@@ -17,27 +18,128 @@
 //!   shard serves `(u, g_u)` and the destination shard serves `(g_v, v)`
 //!   (each skipped when the endpoint *is* the gateway), so both shards
 //!   self-adjust toward their gateways exactly as they would toward any
-//!   hot node; on top of those two local serve costs the router charges a
-//!   flat [`EngineConfig::router_hops`] routing hops (default 2: shard
-//!   egress + ingress — the star's two edges) per cross-shard request.
+//!   hot node; on top of those two local serve costs the **router**
+//!   charges its own cost for the gateway pair.
+//!
+//! The router comes in two flavours ([`SpineMode`]):
+//!
+//! * [`SpineMode::Star`] (default): a flat star over the gateways — every
+//!   cross-shard request costs a constant [`EngineConfig::router_hops`]
+//!   routing hops (default 2: shard egress + ingress, the star's two
+//!   edges). This is the degenerate spine configuration and reproduces
+//!   the original fixed-router engine bit for bit.
+//! * [`SpineMode::KSplay`]: a self-adjusting **router spine** — a k-splay
+//!   network over the `S` gateway keys (shard `s` ↔ spine key `s + 1`).
+//!   Hot shard pairs pull each other adjacent on the spine, so a skewed
+//!   cross-shard working set converges toward 1 routing hop instead of
+//!   the star's flat 2; the spine's routing/rotation costs are booked to
+//!   the cross-shard account and its routing charge is reported as
+//!   [`EngineReport::router_hops`].
+//!
+//! # Live resharding
+//!
+//! With [`ReshardConfig::enabled`] the partition itself becomes
+//! demand-aware: the trace replays in epochs of [`ReshardConfig::epoch`]
+//! requests, a decaying ledger ([`kst_workloads::DecayingDemand`])
+//! accumulates cross-shard pair demand, and at every epoch boundary a
+//! two-phase **plan/apply** rebalance runs on the dispatcher thread:
+//!
+//! 1. **Plan** — evaluate the `2(S − 1)` single-boundary shifts (each
+//!    boundary, each direction, up to [`ReshardConfig::budget`] keys)
+//!    against the smoothed demand: a shift's gain is the demand it heals
+//!    (cross pairs made intra) minus the demand it breaks (intra pairs
+//!    made cross), subject to a donor floor ([`ReshardConfig::min_shard`])
+//!    and a receiver size cap ([`ReshardConfig::max_imbalance_pct`]).
+//! 2. **Apply** — if the best gain clears [`ReshardConfig::min_gain`],
+//!    splice the boundary run out of the donor shard's tree
+//!    ([`kst_core::Reshardable`]), absorb the fragment into the
+//!    neighbour, shift the [`ShardMap`] boundary and bump its version.
+//!    The fragment keeps its learned subtree shape, so migrated hot keys
+//!    stay hot-placed.
 //!
 //! Because shards are fully independent and the dispatcher enqueues
-//! operations in trace order, every shard observes the *same* operation
-//! sequence no matter how many worker threads drain the queues — the
-//! threaded run is bit-identical to the sequential one, which the
-//! differential tests assert.
+//! operations in trace order — and resharding runs between epochs, on
+//! the dispatcher, from a thread-count-independent ledger — every shard
+//! observes the *same* operation sequence no matter how many worker
+//! threads drain the queues: the threaded run is bit-identical to the
+//! sequential one, with or without resharding, which the differential
+//! tests assert.
 
 use crate::obs::{observed_serve, record_handoff, ObsMode, ObsReport, ShardObs};
 use crate::shard::ShardMap;
-use kst_core::{Network, ServeCost};
-use kst_obs::{EventKind, Stopwatch, Tracer};
+use kst_core::{KSplayNet, Network, PatchStats, Reshardable, ServeCost, ShapeTree};
+use kst_obs::{EventKind, Histogram, Stopwatch, Tracer};
 use kst_sim::Metrics;
-use kst_workloads::{KeyRange, NodeKey, Trace};
+use kst_workloads::{DecayingDemand, KeyRange, NodeKey, Trace};
 use std::sync::mpsc;
 
 /// How many filled batches may queue per worker before the dispatcher
 /// blocks (bounds engine memory regardless of trace length).
 const QUEUE_DEPTH: usize = 4;
+
+/// Topology of the top-level router over the shard gateways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpineMode {
+    /// Flat star: every cross-shard request is charged a constant
+    /// [`EngineConfig::router_hops`]. The degenerate spine.
+    #[default]
+    Star,
+    /// Self-adjusting k-splay network over the `S` gateway keys: hot
+    /// shard pairs converge to adjacency, cold pairs pay the tree
+    /// distance.
+    KSplay {
+        /// Arity of the spine tree (clamped to ≥ 2).
+        k: usize,
+    },
+}
+
+/// Live-resharding knobs. Disabled by default; enable with
+/// [`ReshardConfig::on`] or `KSAN_RESHARD=on`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardConfig {
+    /// Master switch. When off the partition is fixed for the whole run
+    /// and the engine is bit-identical to the static-partition engine.
+    pub enabled: bool,
+    /// Requests per epoch: demand is folded and a migration considered
+    /// at every epoch boundary.
+    pub epoch: usize,
+    /// Half-life (in epochs) of the decaying cross-shard demand ledger.
+    pub half_life: u32,
+    /// Maximum keys moved by one migration (one per epoch boundary).
+    pub budget: usize,
+    /// Minimum demand gain (healed minus broken pair weight) required to
+    /// apply a migration.
+    pub min_gain: u64,
+    /// Donor shards always keep at least this many keys.
+    pub min_shard: usize,
+    /// Receiver-size cap as a percentage of the mean shard size `n / S`
+    /// (e.g. 200 = a shard may grow to at most 2× the mean).
+    pub max_imbalance_pct: u64,
+}
+
+impl Default for ReshardConfig {
+    fn default() -> ReshardConfig {
+        ReshardConfig {
+            enabled: false,
+            epoch: 4096,
+            half_life: 4,
+            budget: 256,
+            min_gain: 1,
+            min_shard: 8,
+            max_imbalance_pct: 200,
+        }
+    }
+}
+
+impl ReshardConfig {
+    /// The default knobs with the master switch on.
+    pub fn on() -> ReshardConfig {
+        ReshardConfig {
+            enabled: true,
+            ..ReshardConfig::default()
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -50,9 +152,14 @@ pub struct EngineConfig {
     /// Dispatch batch size `B`: cross-thread handoff is amortized over
     /// `B` requests per channel send.
     pub batch: usize,
-    /// Routing hops charged by the top-level router per cross-shard
-    /// request (star topology: 2 = shard egress + ingress).
+    /// Routing hops charged per cross-shard request under
+    /// [`SpineMode::Star`] (2 = shard egress + ingress). Ignored by a
+    /// k-splay spine, which charges its own serve cost instead.
     pub router_hops: u64,
+    /// Router topology over the shard gateways.
+    pub spine: SpineMode,
+    /// Live-resharding knobs (off by default).
+    pub reshard: ReshardConfig,
     /// What to record while serving (histograms/timelines; see
     /// [`ObsMode`]). Off by default — the serve path then carries no
     /// observability overhead at all.
@@ -69,6 +176,8 @@ impl Default for EngineConfig {
             threads: kst_sim::par::default_threads(),
             batch: 1024,
             router_hops: 2,
+            spine: SpineMode::Star,
+            reshard: ReshardConfig::default(),
             obs: ObsMode::Off,
             obs_events: 4096,
         }
@@ -78,7 +187,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Reads overrides from the environment: `KSAN_SHARDS`,
     /// `KSAN_THREADS`, `KSAN_BATCH`, `KSAN_OBS` (`off`/`det`/`wall`),
-    /// `KSAN_OBS_EVENTS`.
+    /// `KSAN_OBS_EVENTS`, `KSAN_SPINE` (`star`/`ksplay`), `KSAN_SPINE_K`,
+    /// `KSAN_RESHARD` (`on`/`off`), `KSAN_RESHARD_EPOCH`,
+    /// `KSAN_RESHARD_BUDGET`, and `KSAN_RESHARD_IMBALANCE` (the percent
+    /// of the mean shard size a receiver may grow to).
     pub fn from_env() -> EngineConfig {
         let mut cfg = EngineConfig::default();
         let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
@@ -90,6 +202,27 @@ impl EngineConfig {
         }
         if let Some(v) = get("KSAN_BATCH") {
             cfg.batch = v.max(1);
+        }
+        match std::env::var("KSAN_SPINE").ok().as_deref() {
+            Some("ksplay") => {
+                cfg.spine = SpineMode::KSplay {
+                    k: get("KSAN_SPINE_K").unwrap_or(2).max(2),
+                };
+            }
+            Some("star") => cfg.spine = SpineMode::Star,
+            _ => {}
+        }
+        if let Ok(v) = std::env::var("KSAN_RESHARD") {
+            cfg.reshard.enabled = matches!(v.as_str(), "on" | "1" | "true");
+        }
+        if let Some(v) = get("KSAN_RESHARD_EPOCH") {
+            cfg.reshard.epoch = v.max(1);
+        }
+        if let Some(v) = get("KSAN_RESHARD_BUDGET") {
+            cfg.reshard.budget = v.max(1);
+        }
+        if let Some(v) = get("KSAN_RESHARD_IMBALANCE") {
+            cfg.reshard.max_imbalance_pct = (v as u64).max(100);
         }
         if let Some(m) = std::env::var("KSAN_OBS")
             .ok()
@@ -121,6 +254,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style router-spine override.
+    pub fn with_spine(mut self, spine: SpineMode) -> EngineConfig {
+        self.spine = spine;
+        self
+    }
+
+    /// Builder-style live-resharding override.
+    pub fn with_reshard(mut self, reshard: ReshardConfig) -> EngineConfig {
+        self.reshard = reshard;
+        self
+    }
+
     /// Builder-style observability mode override.
     pub fn with_obs(mut self, obs: ObsMode) -> EngineConfig {
         self.obs = obs;
@@ -131,6 +276,31 @@ impl EngineConfig {
     pub fn with_obs_events(mut self, events: usize) -> EngineConfig {
         self.obs_events = events;
         self
+    }
+}
+
+/// What live resharding did during a run. All-zero when resharding is
+/// off (or never fired), so reports stay comparable across configs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardReport {
+    /// Applied migrations (at most one per epoch boundary).
+    pub migrations: u64,
+    /// Total keys moved across shard boundaries.
+    pub keys_moved: u64,
+    /// Total tree links rewired by the extract/absorb surgeries.
+    pub links_changed: u64,
+    /// Final [`ShardMap`] version (0 = the construction partition).
+    pub map_version: u64,
+}
+
+impl ReshardReport {
+    /// Merge for chunked runs: counters sum, the version keeps the
+    /// latest value.
+    pub fn merge(&mut self, other: &ReshardReport) {
+        self.migrations += other.migrations;
+        self.keys_moved += other.keys_moved;
+        self.links_changed += other.links_changed;
+        self.map_version = self.map_version.max(other.map_version);
     }
 }
 
@@ -150,12 +320,16 @@ pub struct EngineReport {
     pub per_shard: Vec<Metrics>,
     /// Cross-shard requests: `requests` counts whole cross-shard requests
     /// (not halves); costs are the two gateway half-serves plus the
-    /// router hops folded into `routing`.
+    /// router's charge folded into `routing` (and, for a k-splay spine,
+    /// its rotations/link-changes).
     pub cross: Metrics,
-    /// Total router hops charged (already included in `cross.routing`,
-    /// broken out so reports can separate "real" routing from the
-    /// router-model surcharge).
+    /// Total routing charged by the router itself (already included in
+    /// `cross.routing`, broken out so reports can separate "real"
+    /// routing from the router surcharge). Star: `router_hops` per
+    /// cross-shard request; k-splay spine: the spine's routing charges.
     pub router_hops: u64,
+    /// What live resharding did (all-zero when off).
+    pub reshard: ReshardReport,
     /// Observability surfaces recorded during the run (empty when
     /// [`EngineConfig::obs`] is off). Its equality compares only the
     /// deterministic histograms, so report equality keeps meaning
@@ -170,6 +344,7 @@ impl EngineReport {
             per_shard: vec![Metrics::default(); shards],
             cross: Metrics::default(),
             router_hops: 0,
+            reshard: ReshardReport::default(),
             obs: ObsReport::off(),
         }
     }
@@ -209,6 +384,7 @@ impl EngineReport {
         }
         self.cross.merge(&other.cross);
         self.router_hops += other.router_hops;
+        self.reshard.merge(&other.reshard);
         self.obs.merge(&other.obs);
     }
 }
@@ -232,12 +408,104 @@ fn add_cost(acc: &mut ServeCost, c: ServeCost) {
     acc.rebuild_nodes += c.rebuild_nodes;
 }
 
+/// Routes one request through the shard map — the single decomposition
+/// point shared by the sequential serve path and the threaded
+/// dispatcher, so the [`ShardMap`] lookup and the gateway half-serve
+/// rules live in exactly one place.
+///
+/// `emit(shard, a, b, half)` fires once for an intra-shard request
+/// (`half == false`, locally remapped endpoints) or up to twice for a
+/// cross-shard one (`half == true`, each endpoint toward its own
+/// gateway; an endpoint that *is* its gateway emits nothing). Returns
+/// `Some((shard(u), shard(v)))` for cross-shard requests — the router's
+/// job — and `None` for intra-shard ones. Allocation-free.
+fn route_request(
+    map: &ShardMap,
+    u: NodeKey,
+    v: NodeKey,
+    mut emit: impl FnMut(usize, NodeKey, NodeKey, bool),
+) -> Option<(usize, usize)> {
+    let su = map.shard_of(u);
+    let sv = map.shard_of(v);
+    if su == sv {
+        let r = map.range(su);
+        emit(su, r.to_local(u), r.to_local(v), false);
+        return None;
+    }
+    let gu = map.gateway(su);
+    if u != gu {
+        let r = map.range(su);
+        emit(su, r.to_local(u), r.to_local(gu), true);
+    }
+    let gv = map.gateway(sv);
+    if v != gv {
+        let r = map.range(sv);
+        emit(sv, r.to_local(gv), r.to_local(v), true);
+    }
+    Some((su, sv))
+}
+
+/// Charges the router for one cross-shard request: the flat
+/// `router_hops` under the star, or a serve on the k-splay spine (shard
+/// `s` ↔ spine key `s + 1`), which self-adjusts toward hot shard pairs.
+/// Allocation-free (the spine's scratch is pre-sized at construction).
+fn router_serve(
+    spine: Option<&mut KSplayNet>,
+    router_hops: u64,
+    su: usize,
+    sv: usize,
+) -> ServeCost {
+    match spine {
+        None => ServeCost {
+            routing: router_hops,
+            ..ServeCost::default()
+        },
+        Some(spine) => spine.serve((su + 1) as NodeKey, (sv + 1) as NodeKey),
+    }
+}
+
+/// The reshard surgery entry points of the concrete net type, captured
+/// as plain function pointers so `ShardedEngine<N>` keeps working for
+/// net types that are not [`Reshardable`] (the capability is attached by
+/// [`ShardedEngine::with_resharding`], never demanded by the engine's
+/// own bounds).
+struct ReshardOps<N> {
+    extract_low: fn(&mut N, usize) -> (ShapeTree, PatchStats),
+    extract_high: fn(&mut N, usize) -> (ShapeTree, PatchStats),
+    absorb_low: fn(&mut N, &ShapeTree) -> PatchStats,
+    absorb_high: fn(&mut N, &ShapeTree) -> PatchStats,
+}
+
+impl<N> Clone for ReshardOps<N> {
+    fn clone(&self) -> ReshardOps<N> {
+        *self
+    }
+}
+
+impl<N> Copy for ReshardOps<N> {}
+
+/// Live-resharding state: the surgery ops plus the decaying cross-shard
+/// demand ledger migrations are planned from.
+struct ReshardState<N> {
+    ops: ReshardOps<N>,
+    demand: DecayingDemand,
+}
+
 /// A sharded serving engine: `S` independent shard networks plus the
-/// top-level router, replaying traces either sequentially or on a worker
-/// pool with batched per-shard queues.
+/// top-level router spine, replaying traces either sequentially or on a
+/// worker pool with batched per-shard queues, optionally rebalancing the
+/// partition between epochs (live resharding).
 pub struct ShardedEngine<N> {
     map: ShardMap,
     nets: Vec<N>,
+    /// The self-adjusting router spine; `None` under [`SpineMode::Star`]
+    /// (or with fewer than two shards), where the router is a constant
+    /// charge instead of a network.
+    spine: Option<KSplayNet>,
+    /// Present iff [`ShardedEngine::with_resharding`] attached the
+    /// surgery ops (the convenience constructors of reshardable net
+    /// types do it automatically).
+    reshard: Option<ReshardState<N>>,
     cfg: EngineConfig,
     /// Run-origin clock: every wall-clock timestamp an observed run
     /// stamps (span `ts`, rebuild pauses) is an offset from this, so all
@@ -270,9 +538,17 @@ impl<N: Network> ShardedEngine<N> {
                 net
             })
             .collect();
+        let spine = match cfg.spine {
+            SpineMode::KSplay { k } if map.shards() >= 2 => {
+                Some(KSplayNet::balanced(k.max(2), map.shards()))
+            }
+            _ => None,
+        };
         ShardedEngine {
             map,
             nets,
+            spine,
+            reshard: None,
             cfg,
             origin: Stopwatch::start(),
         }
@@ -293,76 +569,227 @@ impl<N: Network> ShardedEngine<N> {
         &self.nets
     }
 
+    /// Read access to the router spine (`None` under the star).
+    pub fn spine(&self) -> Option<&KSplayNet> {
+        self.spine.as_ref()
+    }
+
     /// Serves one request on the calling thread, folding its cost into
     /// `report` and returning the request's combined [`ServeCost`]
-    /// (cross-shard: both gateway half-serves plus router hops). This is
-    /// the engine's single source of truth for the cost model — the
-    /// threaded path produces identical per-shard sequences.
+    /// (cross-shard: both gateway half-serves plus the router's charge).
+    /// This is the engine's single source of truth for the cost model —
+    /// the threaded path produces identical per-shard sequences.
     pub fn serve_one(&mut self, u: NodeKey, v: NodeKey, report: &mut EngineReport) -> ServeCost {
-        let su = self.map.shard_of(u);
-        let sv = self.map.shard_of(v);
         let mode = report.obs.mode;
-        if su == sv {
-            let r = self.map.range(su);
-            let c = observed_serve(
-                &mut self.nets[su],
-                r.to_local(u),
-                r.to_local(v),
-                mode,
-                report.obs.per_shard.get_mut(su),
-                self.origin,
-            );
-            report.per_shard[su].absorb(c);
-            return c;
+        let mut c = ServeCost::default();
+        let mut intra_shard = usize::MAX;
+        let nets = &mut self.nets;
+        let obs = &mut report.obs;
+        let origin = self.origin;
+        let routed = route_request(&self.map, u, v, |s, a, b, half| {
+            let cost = observed_serve(&mut nets[s], a, b, mode, obs.per_shard.get_mut(s), origin);
+            add_cost(&mut c, cost);
+            if !half {
+                intra_shard = s;
+            }
+        });
+        match routed {
+            None => {
+                report.per_shard[intra_shard].absorb(c);
+            }
+            Some((su, sv)) => {
+                let rc = router_serve(self.spine.as_mut(), self.cfg.router_hops, su, sv);
+                report.router_hops += rc.routing;
+                add_cost(&mut c, rc);
+                report.cross.absorb(c);
+            }
         }
-        let mut c = ServeCost {
-            routing: self.cfg.router_hops,
-            ..ServeCost::default()
-        };
-        let gu = self.map.gateway(su);
-        if u != gu {
-            let r = self.map.range(su);
-            add_cost(
-                &mut c,
-                observed_serve(
-                    &mut self.nets[su],
-                    r.to_local(u),
-                    r.to_local(gu),
-                    mode,
-                    report.obs.per_shard.get_mut(su),
-                    self.origin,
-                ),
-            );
-        }
-        let gv = self.map.gateway(sv);
-        if v != gv {
-            let r = self.map.range(sv);
-            add_cost(
-                &mut c,
-                observed_serve(
-                    &mut self.nets[sv],
-                    r.to_local(gv),
-                    r.to_local(v),
-                    mode,
-                    report.obs.per_shard.get_mut(sv),
-                    self.origin,
-                ),
-            );
-        }
-        report.cross.absorb(c);
-        report.router_hops += self.cfg.router_hops;
         c
     }
 
-    /// Replays the whole trace on the calling thread.
+    /// Replays a request slice on the calling thread into an existing
+    /// report (the per-epoch unit of the resharding loop).
+    fn run_slice_seq(&mut self, requests: &[(NodeKey, NodeKey)], report: &mut EngineReport) {
+        for &(u, v) in requests {
+            self.serve_one(u, v, report);
+        }
+    }
+
+    /// Panics with a usable message when resharding is switched on for a
+    /// net type whose surgery ops were never attached.
+    fn assert_reshardable(&self) {
+        assert!(
+            self.reshard.is_some(),
+            "resharding is enabled but this engine has no reshard ops: \
+             construct via a reshardable net (e.g. ShardedEngine::ksplay) \
+             or call with_resharding()"
+        );
+    }
+
+    /// Replays the whole trace on the calling thread (epoch-chunked when
+    /// resharding is enabled).
     pub fn run_trace_seq(&mut self, trace: &Trace) -> EngineReport {
         assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
         let mut report = EngineReport::new(self.map.shards());
         report.obs = ObsReport::with_config(self.map.shards(), self.cfg.obs, self.cfg.obs_events);
-        for &(u, v) in trace.requests() {
-            self.serve_one(u, v, &mut report);
+        if self.cfg.reshard.enabled && self.map.shards() >= 2 {
+            self.assert_reshardable();
+            let epoch = self.cfg.reshard.epoch.max(1);
+            for chunk in trace.requests().chunks(epoch) {
+                self.run_slice_seq(chunk, &mut report);
+                self.reshard_boundary(chunk, &mut report);
+            }
+        } else {
+            self.run_slice_seq(trace.requests(), &mut report);
         }
         report
+    }
+
+    /// The epoch-boundary rebalance: folds the epoch's cross-shard
+    /// demand into the decaying ledger, plans the best single boundary
+    /// shift, and applies it by splicing the boundary run between the
+    /// neighbouring shard trees. Runs between epochs on the dispatching
+    /// thread (cold path — the serve path itself stays allocation-free);
+    /// deterministic given the trace and config, independent of the
+    /// worker/batch layout.
+    fn reshard_boundary(&mut self, chunk: &[(NodeKey, NodeKey)], report: &mut EngineReport) {
+        let Some(state) = self.reshard.as_mut() else {
+            return;
+        };
+        let shards = self.map.shards();
+        if shards < 2 {
+            return;
+        }
+        for &(u, v) in chunk {
+            if self.map.shard_of(u) != self.map.shard_of(v) {
+                state.demand.record(u, v);
+            }
+        }
+        state.demand.decay_merge();
+        let pairs = state.demand.pairs_sorted();
+        let ops = state.ops;
+        if report.obs.mode != ObsMode::Off {
+            let mut load = vec![0u64; shards];
+            for &(u, v, w) in &pairs {
+                load[self.map.shard_of(u)] += w;
+                load[self.map.shard_of(v)] += w;
+            }
+            let total: u64 = load.iter().sum();
+            // Hottest shard's demand share over the uniform share,
+            // ×100 — integer arithmetic, so the surface is
+            // deterministic and part of report equality.
+            let maxl = *load.iter().max().unwrap_or(&0);
+            if let Some(pct) = (maxl * 100 * shards as u64).checked_div(total) {
+                Histogram::record(&mut report.obs.imbalance, pct);
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        let rc = self.cfg.reshard;
+        let min_shard = rc.min_shard.max(1);
+        // Plan: the best of the 2(S−1) single-boundary shifts. Positive
+        // delta grows shard b with the low end of b+1; negative donates
+        // b's high end to b+1. Ties keep the first candidate in loop
+        // order (lowest boundary, grow-left before grow-right), so the
+        // plan is deterministic.
+        let mut best: Option<(i64, usize, isize)> = None;
+        for b in 0..shards - 1 {
+            for dir in [1isize, -1] {
+                let (donor, receiver) = if dir > 0 { (b + 1, b) } else { (b, b + 1) };
+                let donor_range = self.map.range(donor);
+                let l = rc.budget.min(donor_range.len().saturating_sub(min_shard));
+                if l == 0 {
+                    continue;
+                }
+                let recv_len = self.map.range(receiver).len();
+                if (recv_len + l) as u64 * 100 * shards as u64
+                    > rc.max_imbalance_pct * self.map.n() as u64
+                {
+                    continue;
+                }
+                let (mlo, mhi) = if dir > 0 {
+                    (donor_range.lo, donor_range.lo + l as NodeKey - 1)
+                } else {
+                    (donor_range.hi - l as NodeKey + 1, donor_range.hi)
+                };
+                let mut gain = 0i64;
+                for &(u, v, w) in &pairs {
+                    let mu = u >= mlo && u <= mhi;
+                    let mv = v >= mlo && v <= mhi;
+                    if mu == mv {
+                        continue;
+                    }
+                    let other = if mu { v } else { u };
+                    let so = self.map.shard_of(other);
+                    if so == receiver {
+                        gain += w as i64; // healed: the pair becomes intra-shard
+                    } else if so == donor {
+                        gain -= w as i64; // broken: the pair becomes cross-shard
+                    }
+                }
+                if gain >= rc.min_gain.min(i64::MAX as u64) as i64
+                    && best.is_none_or(|(bg, _, _)| gain > bg)
+                {
+                    best = Some((gain, b, dir * l as isize));
+                }
+            }
+        }
+        let Some((_gain, b, delta)) = best else {
+            return;
+        };
+        let l = delta.unsigned_abs();
+        // Apply: splice the boundary run out of the donor tree and hand
+        // the fragment (learned shape intact) to the neighbour, then
+        // shift the map boundary and bump its version.
+        let links = if delta > 0 {
+            let (frag, s1) = (ops.extract_low)(&mut self.nets[b + 1], l);
+            let s2 = (ops.absorb_high)(&mut self.nets[b], &frag);
+            s1.links_changed + s2.links_changed
+        } else {
+            let (frag, s1) = (ops.extract_high)(&mut self.nets[b], l);
+            let s2 = (ops.absorb_low)(&mut self.nets[b + 1], &frag);
+            s1.links_changed + s2.links_changed
+        };
+        self.map.shift_boundary(b, delta);
+        // ksan-allow: panic-surface the post-shift validate is the migration applier's own integrity gate; a failure means corrupted state that must not serve
+        let check = self.map.validate();
+        // ksan-allow: panic-surface see above — corrupted partitions must stop the run
+        check.expect("live resharding broke the keyspace partition");
+        debug_assert_eq!(self.nets[b].len(), self.map.range(b).len());
+        debug_assert_eq!(self.nets[b + 1].len(), self.map.range(b + 1).len());
+        report.reshard.migrations += 1;
+        report.reshard.keys_moved += l as u64;
+        report.reshard.links_changed += links;
+        report.reshard.map_version = self.map.version();
+        if report.obs.mode != ObsMode::Off {
+            Histogram::record(&mut report.obs.moved_keys, l as u64);
+            Tracer::record(
+                &mut report.obs.dispatcher,
+                EventKind::Migration,
+                b as u64,
+                l as u64,
+            );
+        }
+    }
+}
+
+impl<N: Network + Reshardable> ShardedEngine<N> {
+    /// Attaches the live-resharding surgery ops (and a fresh demand
+    /// ledger) to the engine. Required before running with
+    /// [`ReshardConfig::enabled`]; an inert capability otherwise. The
+    /// reshardable convenience constructors call this automatically.
+    pub fn with_resharding(mut self) -> ShardedEngine<N> {
+        self.reshard = Some(ReshardState {
+            ops: ReshardOps {
+                extract_low: N::extract_low,
+                extract_high: N::extract_high,
+                absorb_low: N::absorb_low,
+                absorb_high: N::absorb_high,
+            },
+            demand: DecayingDemand::new(self.map.n(), self.cfg.reshard.half_life),
+        });
+        self
     }
 }
 
@@ -370,17 +797,35 @@ impl<N: Network + Send> ShardedEngine<N> {
     /// Replays the trace on a pool of `min(threads, shards)` workers with
     /// per-worker request queues and batched dispatch, falling back to the
     /// sequential path when one worker (or one shard) would run anyway.
-    /// Totals are bit-identical to [`ShardedEngine::run_trace_seq`].
+    /// Totals are bit-identical to [`ShardedEngine::run_trace_seq`] —
+    /// including under live resharding, whose epoch boundaries and
+    /// migration decisions are fixed by the trace alone.
     pub fn run_trace(&mut self, trace: &Trace) -> EngineReport {
         let workers = self.cfg.threads.min(self.map.shards()).max(1);
         if workers <= 1 {
             return self.run_trace_seq(trace);
         }
-        self.run_trace_threaded(trace, workers)
+        assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
+        if self.cfg.reshard.enabled && self.map.shards() >= 2 {
+            self.assert_reshardable();
+            let mut acc = EngineReport::new(self.map.shards());
+            acc.obs = ObsReport::with_config(self.map.shards(), self.cfg.obs, self.cfg.obs_events);
+            let epoch = self.cfg.reshard.epoch.max(1);
+            for chunk in trace.requests().chunks(epoch) {
+                let part = self.run_slice_threaded(chunk, workers);
+                acc.merge(&part);
+                self.reshard_boundary(chunk, &mut acc);
+            }
+            return acc;
+        }
+        self.run_slice_threaded(trace.requests(), workers)
     }
 
-    fn run_trace_threaded(&mut self, trace: &Trace, workers: usize) -> EngineReport {
-        assert_eq!(trace.n(), self.map.n(), "trace keyspace != engine keyspace");
+    fn run_slice_threaded(
+        &mut self,
+        requests: &[(NodeKey, NodeKey)],
+        workers: usize,
+    ) -> EngineReport {
         let shards = self.map.shards();
         let batch = self.cfg.batch.max(1);
         let router_hops = self.cfg.router_hops;
@@ -388,6 +833,7 @@ impl<N: Network + Send> ShardedEngine<N> {
         let obs_events = self.cfg.obs_events;
         let origin = self.origin;
         let map = &self.map;
+        let spine = &mut self.spine;
 
         // Move each shard's net into its worker's slot (shard s → worker
         // s % workers, ascending, so a worker finds shard s at local
@@ -406,6 +852,7 @@ impl<N: Network + Send> ShardedEngine<N> {
         report.obs = ObsReport::with_config(shards, obs_mode, obs_events);
         let mut cross_requests = 0u64;
         let mut cross_half = ServeCost::default();
+        let mut router_total = ServeCost::default();
 
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(workers);
@@ -418,9 +865,12 @@ impl<N: Network + Send> ShardedEngine<N> {
                 }));
             }
 
-            // Dispatch: walk the trace in order, append to per-worker
-            // batches, send a batch whenever it fills. FIFO channels + a
-            // single dispatcher preserve each shard's operation order.
+            // Dispatch: walk the trace in order, route each request
+            // through the shard map, append to per-worker batches, send a
+            // batch whenever it fills. FIFO channels + a single
+            // dispatcher preserve each shard's operation order; the
+            // router spine is served here, on the dispatcher, so its
+            // adjustment sequence is independent of the worker layout.
             let mut buffers: Vec<Vec<Op>> =
                 (0..workers).map(|_| Vec::with_capacity(batch)).collect();
             let push = |buffers: &mut Vec<Vec<Op>>, obs: &mut ObsReport, op: Op| {
@@ -434,51 +884,25 @@ impl<N: Network + Send> ShardedEngine<N> {
                     senders[w].send(full).expect("engine worker hung up");
                 }
             };
-            for &(u, v) in trace.requests() {
-                let su = map.shard_of(u);
-                let sv = map.shard_of(v);
-                if su == sv {
-                    let r = map.range(su);
+            for &(u, v) in requests {
+                let routed = route_request(map, u, v, |s, a, b, half| {
                     push(
                         &mut buffers,
                         &mut report.obs,
                         Op {
-                            shard: su as u32,
-                            a: r.to_local(u),
-                            b: r.to_local(v),
-                            half: false,
+                            shard: s as u32,
+                            a,
+                            b,
+                            half,
                         },
                     );
-                } else {
+                });
+                if let Some((su, sv)) = routed {
                     cross_requests += 1;
-                    let gu = map.gateway(su);
-                    if u != gu {
-                        let r = map.range(su);
-                        push(
-                            &mut buffers,
-                            &mut report.obs,
-                            Op {
-                                shard: su as u32,
-                                a: r.to_local(u),
-                                b: r.to_local(gu),
-                                half: true,
-                            },
-                        );
-                    }
-                    let gv = map.gateway(sv);
-                    if v != gv {
-                        let r = map.range(sv);
-                        push(
-                            &mut buffers,
-                            &mut report.obs,
-                            Op {
-                                shard: sv as u32,
-                                a: r.to_local(gv),
-                                b: r.to_local(v),
-                                half: true,
-                            },
-                        );
-                    }
+                    add_cost(
+                        &mut router_total,
+                        router_serve(spine.as_mut(), router_hops, su, sv),
+                    );
                 }
             }
             for (w, buf) in buffers.iter_mut().enumerate() {
@@ -517,18 +941,18 @@ impl<N: Network + Send> ShardedEngine<N> {
             .collect();
 
         // Assemble the cross-shard account: half-serve sums from the
-        // workers, whole-request count and router hops from the
+        // workers, whole-request count and router charges from the
         // dispatcher. Field-wise associativity makes this equal to the
         // sequential path's per-request absorbs.
         report.cross = Metrics {
             requests: cross_requests,
-            routing: cross_half.routing + cross_requests * router_hops,
-            rotations: cross_half.rotations,
-            links_changed: cross_half.links_changed,
-            rebuild_patches: cross_half.rebuild_patches,
-            rebuild_patched_nodes: cross_half.rebuild_nodes,
+            routing: cross_half.routing + router_total.routing,
+            rotations: cross_half.rotations + router_total.rotations,
+            links_changed: cross_half.links_changed + router_total.links_changed,
+            rebuild_patches: cross_half.rebuild_patches + router_total.rebuild_patches,
+            rebuild_patched_nodes: cross_half.rebuild_nodes + router_total.rebuild_nodes,
         };
-        report.router_hops = cross_requests * router_hops;
+        report.router_hops = router_total.routing;
         report
     }
 }
@@ -602,11 +1026,14 @@ fn worker_loop<N: Network>(
 }
 
 impl ShardedEngine<kst_core::KSplayNet> {
-    /// Convenience constructor: one balanced k-ary SplayNet per shard.
+    /// Convenience constructor: one balanced k-ary SplayNet per shard,
+    /// with the live-resharding surgery ops attached (inert until
+    /// [`ReshardConfig::enabled`]).
     pub fn ksplay(k: usize, n: usize, cfg: EngineConfig) -> ShardedEngine<kst_core::KSplayNet> {
         ShardedEngine::new(n, cfg, |_, range| {
             kst_core::KSplayNet::balanced(k, range.len())
         })
+        .with_resharding()
     }
 }
 
@@ -740,5 +1167,73 @@ mod tests {
             )
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn ksplay_spine_converges_on_a_hot_shard_pair() {
+        // 8 shards, one hot cross-shard pair: the star charges a flat 2
+        // per request; the spine pulls the two gateways adjacent and
+        // serves repeats at 1 hop.
+        let n = 160;
+        let cfg = EngineConfig::default().with_shards(8).with_threads(1);
+        let star_cfg = cfg.clone();
+        let spine_cfg = cfg.with_spine(SpineMode::KSplay { k: 2 });
+        let mut star = ShardedEngine::ksplay(2, n, star_cfg);
+        let mut spine = ShardedEngine::ksplay(2, n, spine_cfg);
+        // Gateway-to-gateway requests isolate the router charge.
+        let (g0, g7) = (star.map().gateway(0), star.map().gateway(7));
+        let reqs: Vec<(NodeKey, NodeKey)> = (0..500).map(|_| (g0, g7)).collect();
+        let trace = Trace::new(n, reqs);
+        let a = star.run_trace(&trace);
+        let b = spine.run_trace(&trace);
+        assert_eq!(a.router_hops, 1000, "star: flat 2 per request");
+        assert!(
+            b.router_hops < a.router_hops,
+            "spine should beat the star on a repeated pair ({} vs {})",
+            b.router_hops,
+            a.router_hops
+        );
+    }
+
+    #[test]
+    fn resharding_migrates_hot_boundary_traffic() {
+        // A hot pair straddling the shard 0/1 boundary: resharding
+        // should shift the boundary so the pair lands in one shard.
+        let n = 200; // 4 shards of 50
+        let mut rc = ReshardConfig::on();
+        rc.epoch = 200;
+        rc.budget = 8;
+        let cfg = EngineConfig::default()
+            .with_shards(4)
+            .with_threads(1)
+            .with_reshard(rc);
+        let mut eng = ShardedEngine::ksplay(2, n, cfg);
+        // (50, 51) straddles the first boundary.
+        let reqs: Vec<(NodeKey, NodeKey)> = (0..1000).map(|_| (50, 51)).collect();
+        let trace = Trace::new(n, reqs);
+        let rep = eng.run_trace(&trace);
+        assert!(rep.reshard.migrations >= 1, "no migration applied");
+        assert!(rep.reshard.keys_moved >= 1);
+        assert!(eng.map().version() >= 1);
+        eng.map().validate().unwrap();
+        assert_eq!(
+            eng.map().shard_of(50),
+            eng.map().shard_of(51),
+            "hot pair should be co-located after resharding"
+        );
+        // Shard nets still track the (shifted) ranges exactly.
+        for s in 0..eng.map().shards() {
+            assert_eq!(eng.nets()[s].len(), eng.map().range(s).len());
+        }
+    }
+
+    #[test]
+    fn resharding_off_leaves_the_map_untouched() {
+        let trace = gens::uniform(120, 3000, 3);
+        let cfg = EngineConfig::default().with_shards(4).with_threads(1);
+        let mut eng = ShardedEngine::ksplay(2, 120, cfg);
+        let rep = eng.run_trace(&trace);
+        assert_eq!(rep.reshard, ReshardReport::default());
+        assert_eq!(eng.map().version(), 0);
     }
 }

@@ -7,8 +7,13 @@
 //! [`kst_core::Network`] (k-ary SplayNet, k-semi-splay, centroid, lazy —
 //! anything implementing the trait), and traces replay through a pool of
 //! worker threads with per-shard request queues and batched dispatch.
-//! Cross-shard requests route via a top-level star router with an explicit,
-//! documented cost model (see [`engine`]).
+//! Cross-shard requests route via a top-level **router spine** with an
+//! explicit, documented cost model (see [`engine`]): a flat star by
+//! default, or a self-adjusting k-splay network over the shard gateways
+//! ([`SpineMode::KSplay`]) that pulls hot shard pairs adjacent. The
+//! partition itself is a **versioned range table** ([`ShardMap`]) that
+//! live resharding ([`ReshardConfig`]) rebalances between epochs by
+//! splicing boundary subtrees between neighbouring shard trees.
 //!
 //! Guarantees, enforced by the workspace's differential tests:
 //!
@@ -18,8 +23,12 @@
 //!   totals standalone nets over each shard's keyspace would report for
 //!   the intra-shard traffic;
 //! * the threaded run is bit-identical to the sequential run — the single
-//!   dispatcher fixes each shard's operation order, and shards never share
-//!   state;
+//!   dispatcher fixes each shard's operation order, shards never share
+//!   state, the spine is served on the dispatcher, and resharding plans
+//!   from a thread-count-independent demand ledger between epochs;
+//! * with the star spine and resharding off (the defaults), the engine is
+//!   bit-identical to the original fixed-router, fixed-partition engine
+//!   on every network type;
 //! * with observability on ([`EngineConfig::obs`]), the per-shard cost
 //!   and rebuild-size histograms in [`ObsReport`] are built from those
 //!   same fixed per-shard streams, so they inherit the bit-identity —
@@ -46,7 +55,9 @@ pub mod engine;
 pub mod obs;
 pub mod shard;
 
-pub use engine::{EngineConfig, EngineReport, ShardedEngine};
+pub use engine::{
+    EngineConfig, EngineReport, ReshardConfig, ReshardReport, ShardedEngine, SpineMode,
+};
 pub use obs::{ObsMode, ObsReport, ShardObs};
 pub use shard::ShardMap;
 

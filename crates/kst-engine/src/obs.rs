@@ -164,6 +164,14 @@ pub struct ObsReport {
     /// Per-worker span timelines (batch receipts; track = shard count +
     /// 1 + worker index).
     pub workers: Vec<Tracer>,
+    /// Keys moved per applied live-resharding migration. Deterministic
+    /// (a pure function of the trace and the reshard config) and part of
+    /// report equality.
+    pub moved_keys: Histogram,
+    /// Load-imbalance ratio ×100 (hottest shard load over mean load)
+    /// sampled at every reshard epoch boundary. Deterministic and part
+    /// of report equality.
+    pub imbalance: Histogram,
 }
 
 impl PartialEq for ObsReport {
@@ -175,6 +183,8 @@ impl PartialEq for ObsReport {
                     && a.col.rebuild_nodes == b.col.rebuild_nodes
                     && a.col.rebuild_patches == b.col.rebuild_patches
             })
+            && self.moved_keys == other.moved_keys
+            && self.imbalance == other.imbalance
     }
 }
 
@@ -191,6 +201,8 @@ impl ObsReport {
             queue_depth: Histogram::new(),
             dispatcher: Tracer::with_capacity(0, 0),
             workers: Vec::new(),
+            moved_keys: Histogram::new(),
+            imbalance: Histogram::new(),
         }
     }
 
@@ -209,6 +221,8 @@ impl ObsReport {
             queue_depth: Histogram::new(),
             dispatcher: Tracer::with_capacity(shards as u32, events),
             workers: Vec::new(),
+            moved_keys: Histogram::new(),
+            imbalance: Histogram::new(),
         }
     }
 
@@ -277,6 +291,8 @@ impl ObsReport {
         }
         self.batch_sizes.merge(&other.batch_sizes);
         self.queue_depth.merge(&other.queue_depth);
+        self.moved_keys.merge(&other.moved_keys);
+        self.imbalance.merge(&other.imbalance);
         self.dispatcher.merge(&other.dispatcher);
         for (a, b) in self.workers.iter_mut().zip(&other.workers) {
             a.merge(b);
@@ -304,6 +320,8 @@ impl ObsReport {
             ("rebuild_pause_us", &self.rebuild_pause_total()),
             ("batch_sizes", &self.batch_sizes),
             ("queue_depth", &self.queue_depth),
+            ("moved_keys", &self.moved_keys),
+            ("imbalance", &self.imbalance),
         ] {
             out.push_str(&format!(",\"{label}\":{}", histogram_json(h)));
         }

@@ -1,37 +1,47 @@
-//! Keyspace → shard mapping.
+//! Keyspace → shard mapping: the engine's **versioned range table**.
 //!
 //! The engine partitions the global keyspace `1..=n` into `S` contiguous
-//! ranges whose sizes differ by at most one (the canonical partition of
-//! [`kst_workloads::partition_keyspace`]). Because the partition is
-//! equal-width up to one key, `shard_of` is a constant-time computation —
-//! no binary search on the hot dispatch path.
+//! ranges. At construction this is the canonical equal-width partition of
+//! [`kst_workloads::partition_keyspace`] and `shard_of` is a constant-time
+//! computation. Live resharding shifts range boundaries between
+//! neighbouring shards at epoch ends ([`ShardMap::shift_boundary`]); each
+//! shift bumps the map's **version** and drops the uniform fast path, so
+//! lookups fall back to an O(log S) binary search over the range table —
+//! still allocation-free and branch-cheap on the dispatch path. Both the
+//! sequential and the threaded dispatch paths route through this one
+//! implementation.
 
 use kst_workloads::{partition_keyspace, KeyRange, NodeKey};
 
 /// The engine's keyspace partition: `S` contiguous shards over `1..=n`,
-/// with O(1) key → shard lookup and per-shard gateway keys.
+/// with O(1)/O(log S) key → shard lookup, per-shard gateway keys, and a
+/// version counter bumped by every live-resharding boundary shift.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     n: usize,
     ranges: Vec<KeyRange>,
-    /// `floor(n / S)`: size of the small shards.
-    base: usize,
-    /// `n mod S`: the first `big` shards hold `base + 1` keys.
-    big: usize,
+    /// Bumped by every boundary shift; 0 for the construction partition.
+    version: u64,
+    /// `(base, big)` of the canonical equal-width partition while it is
+    /// still in force — the O(1) lookup fast path. Cleared by the first
+    /// boundary shift.
+    uniform: Option<(usize, usize)>,
 }
 
 impl ShardMap {
     /// Builds the canonical contiguous partition of `1..=n` into `shards`
-    /// ranges (clamped to `1..=n`).
+    /// ranges (clamped to `1..=n`), version 0.
     pub fn contiguous(n: usize, shards: usize) -> ShardMap {
         let ranges = partition_keyspace(n, shards);
         let shards = ranges.len();
-        ShardMap {
+        let map = ShardMap {
             n,
-            base: n / shards,
-            big: n % shards,
+            uniform: Some((n / shards, n % shards)),
+            version: 0,
             ranges,
-        }
+        };
+        debug_assert_eq!(map.validate(), Ok(()));
+        map
     }
 
     /// Number of shards.
@@ -44,6 +54,11 @@ impl ShardMap {
         self.n
     }
 
+    /// Range-table version: 0 at construction, +1 per boundary shift.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The key range of shard `s`.
     pub fn range(&self, s: usize) -> KeyRange {
         self.ranges[s]
@@ -54,17 +69,22 @@ impl ShardMap {
         &self.ranges
     }
 
-    /// The shard owning `key` — O(1): the first `big` shards have
-    /// `base + 1` keys, the rest `base`.
+    /// The shard owning `key` — O(1) under the construction partition
+    /// (the first `big` shards have `base + 1` keys, the rest `base`),
+    /// O(log S) binary search once resharding has moved a boundary.
     #[inline]
     pub fn shard_of(&self, key: NodeKey) -> usize {
         debug_assert!(key >= 1 && key as usize <= self.n);
-        let idx = key as usize - 1;
-        let split = self.big * (self.base + 1);
-        if idx < split {
-            idx / (self.base + 1)
+        if let Some((base, big)) = self.uniform {
+            let idx = key as usize - 1;
+            let split = big * (base + 1);
+            if idx < split {
+                idx / (base + 1)
+            } else {
+                big + (idx - split) / base
+            }
         } else {
-            self.big + (idx - split) / self.base
+            self.ranges.partition_point(|r| r.hi < key)
         }
     }
 
@@ -77,6 +97,75 @@ impl ShardMap {
     pub fn gateway(&self, s: usize) -> NodeKey {
         let r = self.ranges[s];
         r.lo + (r.len() as NodeKey - 1) / 2
+    }
+
+    /// Moves `delta.abs()` keys across the boundary between shards `b` and
+    /// `b + 1`: positive `delta` grows shard `b` by taking the low end of
+    /// `b + 1`'s range, negative shrinks it, donating its high end. Both
+    /// shards must keep at least one key. Bumps the version and drops the
+    /// O(1) uniform fast path. The caller is responsible for moving the
+    /// matching subtree fragment between the shard networks (see
+    /// `kst_core::reshard`).
+    pub fn shift_boundary(&mut self, b: usize, delta: isize) {
+        assert!(b + 1 < self.ranges.len(), "boundary {b} out of range");
+        assert!(delta != 0, "boundary shift must move at least one key");
+        let moved = delta.unsigned_abs() as NodeKey;
+        if delta > 0 {
+            assert!(
+                (moved as usize) < self.ranges[b + 1].len(),
+                "shard {} would be emptied",
+                b + 1
+            );
+            self.ranges[b].hi += moved;
+            self.ranges[b + 1].lo += moved;
+        } else {
+            assert!(
+                (moved as usize) < self.ranges[b].len(),
+                "shard {b} would be emptied"
+            );
+            self.ranges[b].hi -= moved;
+            self.ranges[b + 1].lo -= moved;
+        }
+        self.uniform = None;
+        self.version += 1;
+        debug_assert_eq!(self.validate(), Ok(()));
+    }
+
+    /// Checks that the range table is a partition of `1..=n` — non-empty
+    /// contiguous disjoint covering ranges — and that every gateway lies
+    /// inside its range. Used by the migration applier after every shift
+    /// and by the debug build at construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranges.is_empty() {
+            return Err("no shard ranges".into());
+        }
+        let mut expect = 1 as NodeKey;
+        for (s, r) in self.ranges.iter().enumerate() {
+            if r.lo != expect {
+                return Err(format!(
+                    "shard {s} starts at {} (expected {expect}): ranges not contiguous",
+                    r.lo
+                ));
+            }
+            if r.hi < r.lo {
+                return Err(format!("shard {s} range [{},{}] is empty", r.lo, r.hi));
+            }
+            expect = r.hi + 1;
+        }
+        let last = self.ranges[self.ranges.len() - 1];
+        if last.hi as usize != self.n {
+            return Err(format!(
+                "last shard ends at {} (expected {}): ranges not covering",
+                last.hi, self.n
+            ));
+        }
+        for s in 0..self.ranges.len() {
+            let g = self.gateway(s);
+            if !self.ranges[s].contains(g) {
+                return Err(format!("shard {s} gateway {g} outside its range"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -119,5 +208,31 @@ mod tests {
         for key in 1..=42 {
             assert_eq!(map.shard_of(key), 0);
         }
+    }
+
+    #[test]
+    fn shift_boundary_keeps_partition_and_bumps_version() {
+        let mut map = ShardMap::contiguous(100, 4);
+        assert_eq!(map.version(), 0);
+        map.shift_boundary(1, 7);
+        assert_eq!(map.version(), 1);
+        map.shift_boundary(2, -3);
+        assert_eq!(map.version(), 2);
+        map.validate().unwrap();
+        assert_eq!(map.range(1).hi, 57);
+        assert_eq!(map.range(2).lo, 58);
+        // Lookup falls back to the binary search and still agrees with a
+        // linear scan.
+        for key in 1..=100 {
+            let s = map.shard_of(key);
+            assert!(map.range(s).contains(key), "key={key} shard={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "emptied")]
+    fn shift_boundary_refuses_to_empty_a_shard() {
+        let mut map = ShardMap::contiguous(10, 5);
+        map.shift_boundary(0, 2);
     }
 }

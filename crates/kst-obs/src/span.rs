@@ -24,6 +24,9 @@ pub enum EventKind {
     /// The dispatcher handed a batch to a worker queue (args: worker,
     /// ops in batch).
     BatchHandoff,
+    /// A live-resharding migration moved keys across a shard boundary
+    /// (args: boundary index, keys moved).
+    Migration,
 }
 
 impl EventKind {
@@ -36,6 +39,7 @@ impl EventKind {
             EventKind::SubtreePatch => "subtree_patch",
             EventKind::ShardDispatch => "shard_dispatch",
             EventKind::BatchHandoff => "batch_handoff",
+            EventKind::Migration => "migration",
         }
     }
 }

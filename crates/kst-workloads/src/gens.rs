@@ -350,6 +350,52 @@ pub fn phase_shift(
     Trace::new(n, reqs)
 }
 
+/// Phase-shifting **boundary-straddling** workload: the hot-pair set
+/// rotates every `period` requests through the `shards − 1` boundaries of
+/// the canonical equal-width partition of `1..=n` into `shards` ranges,
+/// and each request picks the current boundary's straddling pair
+/// `(hi, hi + 1)` with probability `p_hot` (direction uniform), otherwise
+/// a uniform random pair.
+///
+/// Under a static partition every hot request is **cross-shard by
+/// construction** — two gateway half-serves plus the router charge — no
+/// matter how well the shard trees self-adjust. A live-resharding engine
+/// can shift the hot boundary by a handful of keys and serve the pair
+/// locally, which is exactly the regime `results/resharding.md` measures.
+/// Seeded and fully deterministic.
+pub fn boundary_phase_shift(
+    n: usize,
+    m: usize,
+    shards: usize,
+    period: usize,
+    p_hot: f64,
+    seed: u64,
+) -> Trace {
+    assert!(shards >= 2, "need at least one shard boundary");
+    assert!(period >= 1);
+    let ranges = crate::partition_keyspace(n, shards);
+    assert!(ranges.len() >= 2, "keyspace too small for {shards} shards");
+    let hot: Vec<(NodeKey, NodeKey)> = ranges[..ranges.len() - 1]
+        .iter()
+        .map(|r| (r.hi, r.hi + 1))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reqs: Vec<(NodeKey, NodeKey)> = Vec::with_capacity(m);
+    for i in 0..m {
+        let (u, v) = hot[(i / period) % hot.len()];
+        if rng.gen::<f64>() < p_hot {
+            if rng.gen::<f64>() < 0.5 {
+                reqs.push((u, v));
+            } else {
+                reqs.push((v, u));
+            }
+        } else {
+            reqs.push(random_pair(&mut rng, n));
+        }
+    }
+    Trace::new(n, reqs)
+}
+
 /// Non-stationary Zipf workload: endpoints follow Zipf(α) marginals over a
 /// rank permutation that **drifts** — every `drift_every` requests,
 /// `swaps_per_drift` random transpositions are applied to the permutation,

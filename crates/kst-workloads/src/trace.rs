@@ -251,7 +251,10 @@ impl KeyRange {
 
 /// Splits the keyspace `1..=n` into `shards` contiguous ranges whose sizes
 /// differ by at most one (the first `n % shards` ranges get the extra key).
-/// `shards` is clamped to `1..=n`.
+/// `shards` is clamped to `1..=n`. Debug builds verify the result is a
+/// partition — contiguous, disjoint, covering, every range non-empty —
+/// since every consumer (shard maps, shard views, migration planners)
+/// silently assumes it.
 pub fn partition_keyspace(n: usize, shards: usize) -> Vec<KeyRange> {
     assert!(n >= 1, "cannot partition an empty keyspace");
     let shards = shards.clamp(1, n);
@@ -267,6 +270,13 @@ pub fn partition_keyspace(n: usize, shards: usize) -> Vec<KeyRange> {
         });
         lo += len;
     }
+    debug_assert!(
+        ranges.first().map(|r| r.lo) == Some(1)
+            && ranges.last().map(|r| r.hi as usize) == Some(n)
+            && ranges.iter().all(|r| r.lo <= r.hi)
+            && ranges.windows(2).all(|w| w[1].lo == w[0].hi + 1),
+        "partition_keyspace produced a non-partition for n={n} shards={shards}"
+    );
     ranges
 }
 

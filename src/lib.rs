@@ -51,7 +51,10 @@ pub mod prelude {
         KPlusOneSplayNet, KSplayNet, KstTree, Network, NodeKey, PushDownNet, RotorWalkNet,
         ServeCost, ShapeTree, SplayStrategy, WindowPolicy,
     };
-    pub use kst_engine::{EngineConfig, EngineReport, ShardMap, ShardedEngine};
+    pub use kst_engine::{
+        EngineConfig, EngineReport, ReshardConfig, ReshardReport, ShardMap, ShardedEngine,
+        SpineMode,
+    };
     pub use kst_obs::{CostHistograms, Histogram, Stopwatch, Tracer};
     pub use kst_sim::{Metrics, RegretReport, Scale};
     pub use kst_statics::{

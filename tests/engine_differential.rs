@@ -7,9 +7,18 @@
 //!    keyspace, and `Metrics::merge` reduces them to exactly the summed
 //!    unsharded totals;
 //! 3. the threaded run is bit-identical to the sequential run;
-//! 4. cross-shard requests are charged per the documented router model.
+//! 4. cross-shard requests are charged per the documented router model;
+//! 5. the demand-aware dispatch layer is a strict superset: with the
+//!    star spine and resharding off the refactored engine reproduces the
+//!    fixed-router, fixed-partition engine bit for bit (including the
+//!    `ObsReport` histograms), and with them on the threaded run still
+//!    equals the sequential run;
+//! 6. on a boundary-straddling phase-shift workload live resharding
+//!    beats the static partition on total cost.
 
-use ksan::engine::{EngineConfig, EngineReport, ObsMode, ShardedEngine};
+use ksan::engine::{
+    EngineConfig, EngineReport, ObsMode, ReshardConfig, ReshardReport, ShardedEngine, SpineMode,
+};
 use ksan::prelude::*;
 use ksan::sim::experiments::{centroid_rebuilder, run_network};
 use ksan::sim::{run_observed, ObsCollector};
@@ -350,6 +359,128 @@ fn lazy_engine_rebuild_histograms_survive_threading() {
     );
     // Deterministic mode never touches a clock: no pause samples.
     assert!(seq.obs.rebuild_pause_total().is_empty());
+}
+
+#[test]
+fn star_spine_with_resharding_off_is_bit_identical_to_the_default_engine() {
+    // The refactor gate: the demand-aware dispatch layer must be a
+    // strict superset of the fixed-router, fixed-partition engine. With
+    // an *explicit* star spine and resharding off (the defaults), every
+    // network type must produce reports — including the deterministic
+    // ObsReport histograms — bit-identical to the plain config, across
+    // shard/thread/batch combinations.
+    let n = 240;
+    let trace = gens::uniform(n, 6000, 11);
+    let legacy = SpineMode::Star;
+    let off = ReshardConfig {
+        enabled: false,
+        ..ReshardConfig::on()
+    };
+    for (shards, threads, batch) in [(2usize, 1usize, 1024usize), (5, 3, 64), (8, 4, 1)] {
+        let base = EngineConfig::default()
+            .with_shards(shards)
+            .with_threads(threads)
+            .with_batch(batch)
+            .with_obs(ObsMode::Deterministic)
+            .with_obs_events(128);
+        let gated = base.clone().with_spine(legacy).with_reshard(off);
+        let label = format!("shards={shards} threads={threads} batch={batch}");
+        let a = ShardedEngine::ksplay(2, n, base.clone()).run_trace(&trace);
+        let b = ShardedEngine::ksplay(2, n, gated.clone()).run_trace(&trace);
+        assert_eq!(a, b, "ksplay {label}");
+        assert_eq!(a.reshard, ReshardReport::default(), "ksplay {label}");
+        assert_eq!(a.router_hops, 2 * a.cross.requests, "ksplay {label}");
+
+        let a = ShardedEngine::pushdown(3, n, base.clone()).run_trace(&trace);
+        let b = ShardedEngine::pushdown(3, n, gated.clone()).run_trace(&trace);
+        assert_eq!(a, b, "pushdown {label}");
+
+        let a = ShardedEngine::rotor(3, n, base.clone()).run_trace(&trace);
+        let b = ShardedEngine::rotor(3, n, gated.clone()).run_trace(&trace);
+        assert_eq!(a, b, "rotor {label}");
+
+        let a = ShardedEngine::lazy(3, n, 400, 100, 4, base).run_trace(&trace);
+        let b = ShardedEngine::lazy(3, n, 400, 100, 4, gated).run_trace(&trace);
+        assert_eq!(a, b, "lazy {label}");
+    }
+    // The epoch-chunked replay path itself (resharding armed, but a gain
+    // bar no migration can clear) charges exactly the same costs as the
+    // unchunked path.
+    let never = ReshardConfig {
+        enabled: true,
+        epoch: 700,
+        min_gain: u64::MAX,
+        ..ReshardConfig::default()
+    };
+    for threads in [1usize, 3] {
+        let base = EngineConfig::default().with_shards(4).with_threads(threads);
+        let plain = ShardedEngine::ksplay(2, n, base.clone()).run_trace(&trace);
+        let armed = ShardedEngine::ksplay(2, n, base.with_reshard(never)).run_trace(&trace);
+        assert_eq!(plain, armed, "threads={threads}: chunked replay diverged");
+        assert_eq!(armed.reshard, ReshardReport::default());
+    }
+}
+
+#[test]
+fn spine_and_resharding_runs_are_bit_identical_across_thread_counts() {
+    // The new demand-aware machinery must preserve guarantee 3: the
+    // spine is served on the dispatcher in trace order and migrations
+    // are planned between epochs from a thread-count-independent ledger,
+    // so thread/batch layout cannot leak into the report.
+    let n = 240;
+    let trace = gens::boundary_phase_shift(n, 8000, 4, 2000, 0.8, 19);
+    let mut rc = ReshardConfig::on();
+    rc.epoch = 500;
+    rc.budget = 16;
+    let cfg = |threads: usize, batch: usize| {
+        EngineConfig::default()
+            .with_shards(4)
+            .with_threads(threads)
+            .with_batch(batch)
+            .with_spine(SpineMode::KSplay { k: 2 })
+            .with_reshard(rc)
+            .with_obs(ObsMode::Deterministic)
+            .with_obs_events(128)
+    };
+    let reference = ShardedEngine::ksplay(2, n, cfg(1, 1024)).run_trace(&trace);
+    assert!(
+        reference.reshard.migrations > 0,
+        "the workload must actually trigger migrations"
+    );
+    for (threads, batch) in [(2usize, 1usize), (4, 97), (3, 100_000)] {
+        let got = ShardedEngine::ksplay(2, n, cfg(threads, batch)).run_trace(&trace);
+        assert_eq!(got, reference, "threads={threads} batch={batch}");
+        assert_eq!(got.reshard, reference.reshard, "threads={threads}");
+    }
+}
+
+#[test]
+fn resharding_beats_the_static_partition_on_boundary_traffic() {
+    // Guarantee 6 (and the regime results/resharding.md reports): hot
+    // pairs straddling shard boundaries are cross-shard forever under a
+    // static partition but become cheap intra-shard traffic once live
+    // resharding shifts the boundary.
+    let n = 400;
+    let shards = 4;
+    let trace = gens::boundary_phase_shift(n, 30_000, shards, 7500, 0.9, 5);
+    let base = EngineConfig::default().with_shards(shards).with_threads(1);
+    let mut rc = ReshardConfig::on();
+    rc.epoch = 1000;
+    rc.budget = 32;
+    let static_rep = ShardedEngine::ksplay(2, n, base.clone()).run_trace(&trace);
+    let dynamic_rep = ShardedEngine::ksplay(2, n, base.with_reshard(rc)).run_trace(&trace);
+    assert!(dynamic_rep.reshard.migrations > 0);
+    let static_cost = static_rep.total().total_unit_cost();
+    let dynamic_cost = dynamic_rep.total().total_unit_cost();
+    assert!(
+        dynamic_cost * 10 <= static_cost * 9,
+        "live resharding should win >=10% on boundary traffic \
+         (static {static_cost}, resharding {dynamic_cost})"
+    );
+    assert!(
+        dynamic_rep.cross.requests < static_rep.cross.requests,
+        "migrations should convert cross-shard traffic to intra-shard"
+    );
 }
 
 #[test]

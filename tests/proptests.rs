@@ -497,6 +497,80 @@ proptest! {
     }
 
     #[test]
+    fn shard_map_invariants_survive_arbitrary_migration_sequences(
+        n in 8usize..=400,
+        shards in 2usize..=8,
+        shifts in proptest::collection::vec((0usize..64, -20isize..=20), 0..40),
+    ) {
+        // An arbitrary sequence of planned single-boundary migrations must
+        // keep the versioned range table a partition of 1..=n: contiguous,
+        // disjoint, covering, every shard non-empty, every gateway inside
+        // its range — and the version must increase strictly monotonically,
+        // one bump per applied shift.
+        let mut map = ShardMap::contiguous(n, shards);
+        let shards = map.shards();
+        prop_assume!(shards >= 2);
+        prop_assert_eq!(map.validate(), Ok(()));
+        let mut expected_version = 0u64;
+        for (braw, draw) in shifts {
+            let b = braw % (shards - 1);
+            if draw == 0 {
+                continue;
+            }
+            // Clamp like the planner does: a donor never drops below one key.
+            let donor = if draw > 0 { b + 1 } else { b };
+            let room = map.range(donor).len().saturating_sub(1);
+            let l = (draw.unsigned_abs()).min(room);
+            if l == 0 {
+                continue;
+            }
+            let delta = if draw > 0 { l as isize } else { -(l as isize) };
+            let before = map.version();
+            map.shift_boundary(b, delta);
+            expected_version += 1;
+            prop_assert_eq!(map.version(), expected_version);
+            prop_assert!(map.version() > before, "version must strictly increase");
+            prop_assert_eq!(map.validate(), Ok(()));
+        }
+        // Lookup still agrees with a linear scan over the final table.
+        for key in 1..=n as u32 {
+            let s = map.shard_of(key);
+            prop_assert!(map.range(s).contains(key), "key={} shard={}", key, s);
+            prop_assert_eq!(map.shard_of(map.gateway(s)), s);
+        }
+    }
+
+    #[test]
+    fn resharding_replay_is_seed_deterministic_across_thread_counts(
+        seed in 0u64..200,
+        threads in 2usize..=4,
+        epoch in 100usize..=500,
+    ) {
+        // With migrations armed, regenerating the same seeded trace and
+        // replaying it through fresh engines must reproduce bit-identical
+        // reports — sequentially twice (replay determinism) and at any
+        // worker count (the migration plan is a pure function of the trace).
+        let n = 64;
+        let run = |threads: usize| {
+            let trace = gens::boundary_phase_shift(n, 1500, 4, 400, 0.7, seed);
+            let mut rc = ReshardConfig::on();
+            rc.epoch = epoch;
+            rc.budget = 6;
+            let cfg = EngineConfig::default()
+                .with_shards(4)
+                .with_threads(threads)
+                .with_batch(32)
+                .with_reshard(rc);
+            ShardedEngine::ksplay(2, n, cfg).run_trace(&trace)
+        };
+        let a = run(1);
+        let b = run(1);
+        prop_assert_eq!(&a, &b, "sequential replay diverged");
+        let c = run(threads);
+        prop_assert_eq!(&a, &c, "thread count leaked into a resharding run");
+    }
+
+    #[test]
     fn dist_tree_distance_is_a_tree_metric(
         n in 2usize..40,
         k in 2usize..=6,

@@ -171,6 +171,43 @@ fn serve_paths_never_allocate() {
         assert!(obs.rebuild_patches.count() > 0);
     }
 
+    // The engine's demand-aware dispatch path: ShardMap routing, the
+    // gateway half-serve decomposition and the self-adjusting router
+    // spine allocate nothing outside migration boundaries — including
+    // after a live migration has respliced the shard trees and dropped
+    // the O(1) uniform lookup (epoch boundaries themselves are the
+    // documented cold path and may allocate while planning).
+    {
+        let n = 200;
+        let mut rc = ReshardConfig::on();
+        rc.epoch = 500;
+        rc.budget = 8;
+        let cfg = EngineConfig::default()
+            .with_shards(4)
+            .with_threads(1)
+            .with_spine(SpineMode::KSplay { k: 2 })
+            .with_reshard(rc);
+        let mut eng = ShardedEngine::ksplay(2, n, cfg);
+        // Warm run: boundary-straddling traffic forces at least one
+        // migration, so the counted window below exercises the
+        // post-migration range table and the respliced shard trees.
+        let warm = gens::boundary_phase_shift(n, 1000, 4, 500, 0.8, 7);
+        let warm_rep = eng.run_trace(&warm);
+        assert!(warm_rep.reshard.migrations > 0, "warmup must migrate");
+        let steady = gens::uniform(n, 2000, 21);
+        let mut report = EngineReport::new(4);
+        let ((), allocs) = alloc_probe::count_allocations(|| {
+            for &(u, v) in steady.requests() {
+                std::hint::black_box(eng.serve_one(u, v, &mut report));
+            }
+        });
+        assert_eq!(allocs, 0, "engine dispatch path allocated");
+        assert!(
+            report.cross.requests > 0,
+            "steady traffic must cross shards"
+        );
+    }
+
     // Lazy nets are static between rebuilds. The sparse epoch ledger
     // allocates only when it grows for a *new* distinct pair (amortized
     // hash-map growth — the price of O(distinct pairs) memory instead of
