@@ -34,6 +34,14 @@ const ROOT_NAMES: &[(&str, Option<&str>)] = &[
     ("splay_until", None),
     ("distance_lca", None),
     ("worker_loop", None),
+    // Depth-cache hot paths: the armed O(1) depth lookup, its parent-walk
+    // fallback, the cache drop on restructure (`Vec::new()` never
+    // allocates, and frees are outside the probe's contract), and the
+    // prefetch hint issued on every climb step of `distance_lca`.
+    ("depth", Some("KstTree")),
+    ("depth_walk", Some("KstTree")),
+    ("disarm_depth_cache", Some("KstTree")),
+    ("prefetch_read", None),
     // kst-engine dispatch helpers: the shared ShardMap routing
     // decomposition, the router-spine charge, and the sequential serve
     // entry point must stay allocation-free outside the documented

@@ -121,6 +121,31 @@ fn unsafe_good_is_clean() {
 }
 
 #[test]
+fn prefetch_without_safety_comment_is_flagged() {
+    let findings = analyze("tests/fixtures/prefetch_bad.rs", "kst-core");
+    let hits = of_lint(&findings, "unsafe-hygiene");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert!(hits[0].message.contains("SAFETY"), "{findings:?}");
+}
+
+#[test]
+fn prefetch_with_safety_comment_is_clean() {
+    // Pins the shipped `kst_core::prefetch_read` shape: the hygiene lint
+    // must accept the intrinsic exactly as written there (SAFETY comment
+    // adjacent to the sole unsafe block) and nothing else may fire —
+    // `prefetch_read` is also a no-alloc root.
+    let findings = analyze("tests/fixtures/prefetch_good.rs", "kst-core");
+    assert!(
+        of_lint(&findings, "unsafe-hygiene").is_empty(),
+        "clean fixture flagged: {findings:?}"
+    );
+    assert!(
+        of_lint(&findings, "no-alloc").is_empty(),
+        "prefetch helper must stay allocation-free: {findings:?}"
+    );
+}
+
+#[test]
 fn forbid_missing_is_flagged() {
     let findings = analyze("tests/fixtures/forbid_missing/src/lib.rs", "demo");
     let hits = of_lint(&findings, "unsafe-hygiene");

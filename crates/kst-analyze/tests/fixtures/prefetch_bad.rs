@@ -1,0 +1,19 @@
+//! Known-bad fixture: a prefetch intrinsic issued from an `unsafe` block
+//! with no adjacent SAFETY comment — the hint is behaviour-free, but the
+//! hygiene contract for the one crate allowed to hold `unsafe` does not
+//! care how harmless the callee is.
+
+pub fn prefetch_read<T>(slice: &[T], idx: usize) {
+    if idx >= slice.len() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let ptr = slice.as_ptr().wrapping_add(idx);
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                ptr as *const i8,
+            );
+        }
+    }
+}

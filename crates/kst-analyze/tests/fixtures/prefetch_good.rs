@@ -1,0 +1,21 @@
+//! Known-good fixture: the prefetch intrinsic's `unsafe` block carries
+//! its SAFETY comment, and the pointer arithmetic stays in safe code
+//! (`wrapping_add`) so the unsafe surface is exactly the intrinsic call.
+
+pub fn prefetch_read<T>(slice: &[T], idx: usize) {
+    if idx >= slice.len() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let ptr = slice.as_ptr().wrapping_add(idx);
+        // SAFETY: `_mm_prefetch` is a pure cache hint with no memory
+        // access semantics; any address is sound, and `ptr` is in bounds
+        // by the guard above anyway.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                ptr as *const i8,
+            );
+        }
+    }
+}

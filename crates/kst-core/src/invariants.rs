@@ -111,6 +111,19 @@ pub fn validate(t: &KstTree) -> Result<(), String> {
     if t.element_multiset().len() != n * (k - 1) {
         return Err("element multiset size mismatch".into());
     }
+    // 6. armed depth cache is exact for every node (disarmed is vacuous).
+    if t.depth_cache_armed() {
+        for v in t.nodes() {
+            let cached = t.depth(v);
+            let walked = t.depth_walk(v);
+            if cached != walked {
+                return Err(format!(
+                    "key {}: cached depth {cached} != walked depth {walked}",
+                    v + 1
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

@@ -38,6 +38,7 @@ pub mod key;
 pub mod ksplaynet;
 pub mod lazy;
 pub mod net;
+pub mod prefetch;
 pub mod pushdown;
 pub mod reshard;
 pub mod restructure;
@@ -83,6 +84,7 @@ pub use lazy::{
     IncrementalWeightBalanced, LazyKaryNet, Rebuild, RebuildPlan, SubtreePatch,
 };
 pub use net::{Network, ServeCost};
+pub use prefetch::prefetch_read;
 pub use pushdown::PushDownNet;
 pub use reshard::Reshardable;
 pub use restructure::{RestructureStats, WindowPolicy};

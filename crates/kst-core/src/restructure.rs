@@ -77,6 +77,12 @@ impl KstTree {
         let km1 = k - 1;
         debug_assert!(self.is_downward_path(path), "not a downward path");
 
+        // A rotation window reattaches whole subtrees, so exact depth-cache
+        // maintenance would cost O(moved subtrees), not O(path): disarm it
+        // in O(1) instead (releasing memory is not an allocation, so the
+        // zero-alloc serve contract is untouched).
+        self.disarm_depth_cache();
+
         let top = path[0];
         let anchor = self.parent(top);
         let anchor_slot = if anchor == NIL {

@@ -71,6 +71,19 @@ pub struct KstTree {
     /// subtree key images.
     lo: Vec<RoutingKey>,
     hi: Vec<RoutingKey>,
+    /// Depth cache (root = 0), `u32` to keep the 10⁸-node footprint at
+    /// 4 B/node. **Armed or disarmed as a whole**: when non-empty it holds
+    /// the exact depth of *every* node and `distance_lca` skips its two
+    /// O(depth) pre-walks; when empty the pre-walks run as before. All
+    /// non-rotating mutation paths (`from_shape`/`write_fragment`,
+    /// `patch_subtree`, `extract_range`/`absorb_fragment`) maintain it
+    /// exactly; [`KstTree::restructure`] disarms it in O(1) on entry,
+    /// because a rotation window reattaches whole subtrees and exact
+    /// maintenance would cost O(subtree), not O(path). Nets that never
+    /// rotate (the lazy family) therefore stay armed for their entire
+    /// lifetime, which is exactly the distance-dominated regime where the
+    /// pre-walks were the bill.
+    depth: Vec<u32>,
     /// Scratch arenas reused by the serve path (see the module docs for the
     /// reuse contract): merged routing elements …
     pub(crate) scratch_elems: Vec<RoutingKey>,
@@ -148,6 +161,7 @@ impl KstTree {
             children: vec![NIL; n * k],
             lo: vec![0; n],
             hi: vec![0; n],
+            depth: vec![0; n],
             scratch_elems: Vec::new(),
             scratch_slots: Vec::new(),
             scratch_origin: Vec::new(),
@@ -157,7 +171,7 @@ impl KstTree {
             scratch_edges_a: Vec::new(),
             scratch_edges_b: Vec::new(),
         };
-        let root = t.write_fragment(shape, 1, 0, RoutingKey::MAX);
+        let root = t.write_fragment(shape, 1, 0, RoutingKey::MAX, 0);
         t.root = root;
         t
     }
@@ -196,12 +210,17 @@ impl KstTree {
     /// subtree. In the unconstrained full-build gap neither addition ever
     /// binds and the produced elements are identical to the historical
     /// `from_shape` output.
+    /// `base_depth` is the tree depth at which the fragment's root lands
+    /// (its attachment point's depth + 1, or 0 for a full build); when the
+    /// depth cache is armed the materialization fills it alongside the
+    /// other arenas.
     fn write_fragment(
         &mut self,
         shape: &ShapeTree,
         first_key: NodeKey,
         glo: RoutingKey,
         ghi: RoutingKey,
+        base_depth: u32,
     ) -> NodeIdx {
         let k = self.k;
         let km1 = k - 1;
@@ -239,11 +258,16 @@ impl KstTree {
         let mut slot_of_chunk: Vec<usize> = Vec::with_capacity(k);
         let mut chunk_size: Vec<u64> = Vec::with_capacity(k);
         let mut items: Vec<Item> = Vec::with_capacity(k + 1);
-        let mut stack: Vec<(u32, RoutingKey, RoutingKey)> = vec![(shape.root, glo, ghi)];
-        while let Some((v, lo, hi)) = stack.pop() {
+        let armed = !self.depth.is_empty();
+        let mut stack: Vec<(u32, RoutingKey, RoutingKey, u32)> =
+            vec![(shape.root, glo, ghi, base_depth)];
+        while let Some((v, lo, hi, d)) = stack.pop() {
             let vi = key_to_idx(keys[v as usize]) as usize;
             self.lo[vi] = lo;
             self.hi[vi] = hi;
+            if armed {
+                self.depth[vi] = d;
+            }
             let cs = &shape.children[v as usize];
             let gap = shape.key_gap[v as usize] as usize;
             let own = key_image(keys[v as usize]);
@@ -365,7 +389,7 @@ impl KstTree {
                 self.parent[ci as usize] = vi as NodeIdx;
                 let slo = if slot == 0 { lo } else { elems[slot - 1] };
                 let shi = if slot == k - 1 { hi } else { elems[slot] };
-                stack.push((ch, slo, shi));
+                stack.push((ch, slo, shi, d + 1));
             }
         }
         key_to_idx(keys[shape.root as usize])
@@ -418,6 +442,9 @@ impl KstTree {
         let mut anchor = NIL;
         let mut anchor_slot = usize::MAX;
         let mut r = self.root;
+        // Descent steps = the range root's depth, which seeds the depth
+        // cache for the re-formed fragment.
+        let mut rdepth = 0u32;
         loop {
             let rk = idx_to_key(r);
             if lo <= rk && rk <= hi {
@@ -444,6 +471,7 @@ impl KstTree {
             anchor = r;
             anchor_slot = j;
             r = c;
+            rdepth += 1;
         }
         // 2. Verify the subtree under `r` is exactly the range, collecting
         //    its current edges (anchor edge included) for link accounting.
@@ -478,7 +506,7 @@ impl KstTree {
         }
         before.sort_unstable();
         // 3. Re-form the range in place and reattach.
-        let new_root = self.write_fragment(fragment, lo, glo, ghi);
+        let new_root = self.write_fragment(fragment, lo, glo, ghi, rdepth);
         self.set_parent(new_root, anchor);
         if anchor == NIL {
             self.set_root(new_root);
@@ -702,11 +730,14 @@ impl KstTree {
         let new_n = n - size;
         if hi as usize == n && lo > 1 {
             // High run: keys 1..=new_n keep their numbers; drop the tail.
+            // Detaching a subtree leaves every survivor's depth unchanged,
+            // so the (possibly disarmed = empty) cache just truncates.
             self.parent.truncate(new_n);
             self.elems.truncate(new_n * km1);
             self.children.truncate(new_n * k);
             self.lo.truncate(new_n);
             self.hi.truncate(new_n);
+            self.depth.truncate(new_n);
         } else {
             // Low run: renumber keys down by f = hi. Remaining elements
             // below image(f+1) (leading empty-slot values) are compressed
@@ -755,11 +786,17 @@ impl KstTree {
                     key_image(1)
                 };
             }
+            // Renumbering is a pure index shift: survivor depths are
+            // unchanged (no-op on a disarmed = empty cache).
+            if !self.depth.is_empty() {
+                self.depth.copy_within(f.., 0);
+            }
             self.parent.truncate(new_n);
             self.elems.truncate(new_n * km1);
             self.children.truncate(new_n * k);
             self.lo.truncate(new_n);
             self.hi.truncate(new_n);
+            self.depth.truncate(new_n);
             self.root -= f as NodeIdx;
         }
         self.n = new_n;
@@ -799,19 +836,32 @@ impl KstTree {
         self.children.resize(new_n * k, NIL);
         self.lo.resize(new_n, 0);
         self.hi.resize(new_n, 0);
+        let armed = !self.depth.is_empty();
+        if armed {
+            self.depth.resize(new_n, 0);
+        }
         self.n = new_n;
         match end {
             End::High => {
                 // Deepest right-boundary node; its last gap is (max
-                // element, MAX) and every new image lies above it.
+                // element, MAX) and every new image lies above it. The
+                // walk's step count is `w`'s depth — the fragment hangs one
+                // level below it.
                 let mut w = self.root;
+                let mut dw = 0u32;
                 while self.children(w)[k - 1] != NIL {
                     w = self.children(w)[k - 1];
+                    dw += 1;
                 }
                 let glo = self.elems(w)[km1 - 1];
                 debug_assert!(glo < key_image((old_n + 1) as NodeKey));
-                let root_frag =
-                    self.write_fragment(fragment, (old_n + 1) as NodeKey, glo, RoutingKey::MAX);
+                let root_frag = self.write_fragment(
+                    fragment,
+                    (old_n + 1) as NodeKey,
+                    glo,
+                    RoutingKey::MAX,
+                    dw + 1,
+                );
                 self.children_mut(w)[k - 1] = root_frag;
                 self.set_parent(root_frag, w);
             }
@@ -819,7 +869,8 @@ impl KstTree {
                 // Renumber existing keys up by f: shift arena windows,
                 // translate elements by image(f), keep left-spine stored
                 // lo at 0 (the exact bound there stays 0) and saturate hi
-                // so MAX stays MAX.
+                // so MAX stays MAX. Depths are untouched by renumbering —
+                // the cache shifts as a block.
                 let img_f = key_image(f as NodeKey);
                 let add = |v: NodeIdx| if v == NIL { NIL } else { v + f as NodeIdx };
                 for i in (0..old_n).rev() {
@@ -835,16 +886,21 @@ impl KstTree {
                     self.lo[ni] = if slo == 0 { 0 } else { slo + img_f };
                     self.hi[ni] = self.hi[i].saturating_add(img_f);
                 }
+                if armed {
+                    self.depth.copy_within(0..old_n, f);
+                }
                 self.root += f as NodeIdx;
                 // Deepest left-boundary node; its first gap is (0, first
                 // element) and holds every new image with room to spare.
                 let mut w = self.root;
+                let mut dw = 0u32;
                 while self.children(w)[0] != NIL {
                     w = self.children(w)[0];
+                    dw += 1;
                 }
                 let ghi = self.elems(w)[0];
                 debug_assert!(ghi > img_f);
-                let root_frag = self.write_fragment(fragment, 1, 0, ghi);
+                let root_frag = self.write_fragment(fragment, 1, 0, ghi, dw + 1);
                 self.children_mut(w)[0] = root_frag;
                 self.set_parent(root_frag, w);
             }
@@ -959,8 +1015,18 @@ impl KstTree {
             .expect("child not attached to parent")
     }
 
-    /// Depth of `v` (root = 0). O(depth).
+    /// Depth of `v` (root = 0). O(1) while the depth cache is armed,
+    /// O(depth) parent walk after a restructure disarmed it.
     pub fn depth(&self, v: NodeIdx) -> usize {
+        if !self.depth.is_empty() {
+            return self.depth[v as usize] as usize;
+        }
+        self.depth_walk(v)
+    }
+
+    /// Depth of `v` by fresh parent walk, ignoring the cache. The
+    /// coherence tests diff this against the armed cache.
+    pub fn depth_walk(&self, v: NodeIdx) -> usize {
         let mut d = 0usize;
         let mut w = v;
         while self.parent[w as usize] != NIL {
@@ -968,6 +1034,25 @@ impl KstTree {
             d += 1;
         }
         d
+    }
+
+    /// Whether the depth cache is armed (exact for every node). Armed from
+    /// construction; the first [`KstTree::restructure`] disarms it for the
+    /// tree's remaining lifetime.
+    #[inline]
+    pub fn depth_cache_armed(&self) -> bool {
+        !self.depth.is_empty()
+    }
+
+    /// Disarms the depth cache in O(1) by releasing its arena. Called on
+    /// entry by every rotation window (see the field docs for why exact
+    /// maintenance under rotations is off the table). Releasing memory is
+    /// outside the zero-allocation contract (`alloc_probe` counts
+    /// allocations, not frees), and `Vec::new` never allocates.
+    pub(crate) fn disarm_depth_cache(&mut self) {
+        if !self.depth.is_empty() {
+            self.depth = Vec::new();
+        }
     }
 
     /// Lowest common ancestor of `u` and `v`. O(depth).
@@ -981,28 +1066,70 @@ impl KstTree {
     }
 
     /// Tree distance and lowest common ancestor in **one pass** over the
-    /// access paths (two depth walks plus one aligned climb). The serve hot
-    /// path uses this so the routing charge and the splay target come out
-    /// of the same pointer chase instead of six-plus redundant root walks.
+    /// access paths. The serve hot path uses this so the routing charge and
+    /// the splay target come out of the same pointer chase instead of
+    /// six-plus redundant root walks.
+    ///
+    /// While the depth cache is armed the two O(depth) depth pre-walks
+    /// collapse to two O(1) lookups and only the aligned climb chases
+    /// pointers (with software prefetch hints one step ahead — see
+    /// [`crate::prefetch`]). Disarmed, the pre-walks run but are
+    /// **interleaved**: the two parent chains are independent, so
+    /// alternating their loads lets the cache misses of one chain overlap
+    /// the other's instead of serializing two full root walks. Both paths
+    /// return bit-identical results — the differential oracles pin this.
     pub fn distance_lca(&self, u: NodeIdx, v: NodeIdx) -> (u64, NodeIdx) {
         if u == v {
             return (0, u);
         }
-        let du = self.depth(u);
-        let dv = self.depth(v);
+        let (du, dv) = if !self.depth.is_empty() {
+            (
+                self.depth[u as usize] as usize,
+                self.depth[v as usize] as usize,
+            )
+        } else {
+            let (mut au, mut av) = (u, v);
+            let (mut du, mut dv) = (0usize, 0usize);
+            loop {
+                let pu = self.parent[au as usize];
+                let pv = self.parent[av as usize];
+                match (pu != NIL, pv != NIL) {
+                    (true, true) => {
+                        au = pu;
+                        av = pv;
+                        du += 1;
+                        dv += 1;
+                    }
+                    (true, false) => {
+                        au = pu;
+                        du += 1;
+                    }
+                    (false, true) => {
+                        av = pv;
+                        dv += 1;
+                    }
+                    (false, false) => break,
+                }
+            }
+            (du, dv)
+        };
         let (mut a, mut b) = (u, v);
         let (mut da, mut db) = (du, dv);
         while da > db {
             a = self.parent[a as usize];
+            crate::prefetch::prefetch_read(&self.parent, a as usize);
             da -= 1;
         }
         while db > da {
             b = self.parent[b as usize];
+            crate::prefetch::prefetch_read(&self.parent, b as usize);
             db -= 1;
         }
         while a != b {
             a = self.parent[a as usize];
             b = self.parent[b as usize];
+            crate::prefetch::prefetch_read(&self.parent, a as usize);
+            crate::prefetch::prefetch_read(&self.parent, b as usize);
             da -= 1;
         }
         ((du - da + (dv - da)) as u64, a)
@@ -1066,6 +1193,7 @@ impl Clone for KstTree {
             children: self.children.clone(),
             lo: self.lo.clone(),
             hi: self.hi.clone(),
+            depth: self.depth.clone(),
             scratch_elems: Vec::with_capacity(self.scratch_elems.capacity()),
             scratch_slots: Vec::with_capacity(self.scratch_slots.capacity()),
             scratch_origin: Vec::with_capacity(self.scratch_origin.capacity()),

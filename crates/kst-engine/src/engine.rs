@@ -152,6 +152,14 @@ pub struct EngineConfig {
     /// Dispatch batch size `B`: cross-thread handoff is amortized over
     /// `B` requests per channel send.
     pub batch: usize,
+    /// Worker threads for **shard construction** (`ShardedEngine::new`).
+    /// `1` (the default) builds shards sequentially in shard order —
+    /// exactly the historical behaviour and transient-memory profile.
+    /// Higher values build up to `build_threads` shards concurrently on
+    /// scoped threads; shards are independent, so the resulting engine is
+    /// bit-identical to a sequential build (a differential test pins
+    /// this), but up to `build_threads` construction transients coexist.
+    pub build_threads: usize,
     /// Routing hops charged per cross-shard request under
     /// [`SpineMode::Star`] (2 = shard egress + ingress). Ignored by a
     /// k-splay spine, which charges its own serve cost instead.
@@ -175,6 +183,7 @@ impl Default for EngineConfig {
             shards: 1,
             threads: kst_sim::par::default_threads(),
             batch: 1024,
+            build_threads: 1,
             router_hops: 2,
             spine: SpineMode::Star,
             reshard: ReshardConfig::default(),
@@ -186,7 +195,8 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// Reads overrides from the environment: `KSAN_SHARDS`,
-    /// `KSAN_THREADS`, `KSAN_BATCH`, `KSAN_OBS` (`off`/`det`/`wall`),
+    /// `KSAN_THREADS`, `KSAN_BATCH`, `KSAN_BUILD_THREADS`,
+    /// `KSAN_OBS` (`off`/`det`/`wall`),
     /// `KSAN_OBS_EVENTS`, `KSAN_SPINE` (`star`/`ksplay`), `KSAN_SPINE_K`,
     /// `KSAN_RESHARD` (`on`/`off`), `KSAN_RESHARD_EPOCH`,
     /// `KSAN_RESHARD_BUDGET`, and `KSAN_RESHARD_IMBALANCE` (the percent
@@ -202,6 +212,9 @@ impl EngineConfig {
         }
         if let Some(v) = get("KSAN_BATCH") {
             cfg.batch = v.max(1);
+        }
+        if let Some(v) = get("KSAN_BUILD_THREADS") {
+            cfg.build_threads = v.max(1);
         }
         match std::env::var("KSAN_SPINE").ok().as_deref() {
             Some("ksplay") => {
@@ -251,6 +264,12 @@ impl EngineConfig {
     /// Builder-style batch size override.
     pub fn with_batch(mut self, batch: usize) -> EngineConfig {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style construction-thread override.
+    pub fn with_build_threads(mut self, build_threads: usize) -> EngineConfig {
+        self.build_threads = build_threads.max(1);
         self
     }
 
@@ -516,28 +535,79 @@ pub struct ShardedEngine<N> {
 
 impl<N: Network> ShardedEngine<N> {
     /// Builds the engine over keyspace `1..=n`: the factory is called once
-    /// per shard (in shard order, so sizing transients never coexist) and
-    /// must return a network over exactly the shard's local keyspace.
+    /// per shard and must return a network over exactly the shard's local
+    /// keyspace.
+    ///
+    /// Transient-memory contract: with the default
+    /// [`EngineConfig::build_threads`]` = 1` shards are built sequentially
+    /// in shard order, so at most **one** shard's construction transients
+    /// exist at a time (the historical "never coexist" guarantee). With
+    /// `build_threads = T > 1` shards are built on `T` scoped worker
+    /// threads and up to `T` construction transients overlap — bounded
+    /// overlap replaces "never coexist", trading a T-bounded transient-RSS
+    /// bump for a near-linear construction speedup. Shards are
+    /// independent, so the built engine is bit-identical either way.
     pub fn new(
         n: usize,
         cfg: EngineConfig,
-        mut factory: impl FnMut(usize, KeyRange) -> N,
-    ) -> ShardedEngine<N> {
+        factory: impl Fn(usize, KeyRange) -> N + Sync,
+    ) -> ShardedEngine<N>
+    where
+        N: Send,
+    {
         let map = ShardMap::contiguous(n, cfg.shards);
-        let nets: Vec<N> = (0..map.shards())
-            .map(|s| {
-                let range = map.range(s);
-                let net = factory(s, range);
-                assert_eq!(
-                    net.len(),
-                    range.len(),
-                    "shard {s}: factory built a {}-node net for a {}-key range",
-                    net.len(),
-                    range.len()
-                );
-                net
-            })
-            .collect();
+        let shards = map.shards();
+        let build = |s: usize| {
+            let range = map.range(s);
+            let net = factory(s, range);
+            assert_eq!(
+                net.len(),
+                range.len(),
+                "shard {s}: factory built a {}-node net for a {}-key range",
+                net.len(),
+                range.len()
+            );
+            net
+        };
+        let workers = cfg.build_threads.clamp(1, shards);
+        let nets: Vec<N> = if workers <= 1 {
+            (0..shards).map(build).collect()
+        } else {
+            // Static round-robin assignment: worker `w` builds shards
+            // `w, w + T, w + 2T, …`. Shard sizes differ by at most one
+            // key, so stealing buys nothing, and each worker holding one
+            // in-flight build caps transient overlap at `workers`.
+            let mut slots: Vec<Option<N>> = (0..shards).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let build = &build;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut out: Vec<(usize, N)> = Vec::new();
+                            let mut s = w;
+                            while s < shards {
+                                out.push((s, build(s)));
+                                s += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // ksan-allow: panic-surface a worker panic is a factory bug; re-raising it here preserves the factory's own diagnostic
+                    for (s, net) in h.join().expect("shard build worker panicked") {
+                        slots[s] = Some(net);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    // ksan-allow: panic-surface every shard index is visited by exactly one worker above
+                    slot.expect("shard slot left unbuilt")
+                })
+                .collect()
+        };
         let spine = match cfg.spine {
             SpineMode::KSplay { k } if map.shards() >= 2 => {
                 Some(KSplayNet::balanced(k.max(2), map.shards()))

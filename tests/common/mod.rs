@@ -1,0 +1,29 @@
+//! Shared test-support helpers for the release-mode scale gates
+//! (`scale_1m`, `scale_10m`, `scale_lazy_1m`, `scale_100m`): one
+//! peak-RSS probe and one budget assertion, so every scale test holds to
+//! its documented memory envelope through the same code path.
+
+/// Peak resident set size (VmHWM) of the current process in KiB, if the
+/// platform exposes it (Linux procfs).
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Asserts the process peak RSS stays under `budget_kib` (Linux-only
+/// probe), printing the observed high-water mark for CI logs. On
+/// platforms without the probe the budget is logged as unchecked and the
+/// test proceeds.
+pub fn assert_rss_within_budget(budget_kib: u64) {
+    match peak_rss_kib() {
+        Some(kib) => {
+            eprintln!("peak RSS: {kib} KiB (budget {budget_kib} KiB)");
+            assert!(
+                kib < budget_kib,
+                "peak RSS {kib} KiB exceeds the documented {budget_kib} KiB budget"
+            );
+        }
+        None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
+    }
+}

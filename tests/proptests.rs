@@ -5,6 +5,7 @@
 
 use ksan::core::invariants::{exact_gaps, validate};
 use ksan::core::routing::route;
+use ksan::core::{End, KstTree, LazyKaryNet, ShapeTree};
 use ksan::prelude::*;
 use proptest::prelude::*;
 
@@ -24,6 +25,36 @@ fn edges_by_distance<N: Network>(net: &N, n: usize) -> std::collections::BTreeSe
         }
     }
     s
+}
+
+/// Asserts the tree's depth cache is armed and every cached depth equals
+/// a fresh parent-walk recomputation — the coherence contract behind the
+/// O(1) `distance_lca` fast path.
+fn check_armed_depths(t: &KstTree) -> Result<(), TestCaseError> {
+    prop_assert!(t.depth_cache_armed(), "depth cache unexpectedly disarmed");
+    for v in t.nodes() {
+        prop_assert_eq!(t.depth(v), t.depth_walk(v), "node key {}", v + 1);
+    }
+    Ok(())
+}
+
+/// Smallest and largest key in the subtree rooted at node index `v` (on
+/// trees built purely by `from_shape`/`patch_subtree` this span is exactly
+/// the subtree's contiguous key range, i.e. a valid patch range).
+fn subtree_key_span(t: &KstTree, v: u32) -> (u32, u32) {
+    let (mut lo, mut hi) = (u32::MAX, 0u32);
+    let mut stack = vec![v];
+    let nil = ksan::core::key::NIL;
+    while let Some(w) = stack.pop() {
+        lo = lo.min(w + 1);
+        hi = hi.max(w + 1);
+        for &c in t.children(w) {
+            if c != nil {
+                stack.push(c);
+            }
+        }
+    }
+    (lo, hi)
 }
 
 /// Asserts `links_changed` equals the symmetric difference of the global
@@ -568,6 +599,122 @@ proptest! {
         prop_assert_eq!(&a, &b, "sequential replay diverged");
         let c = run(threads);
         prop_assert_eq!(&a, &c, "thread count leaked into a resharding run");
+    }
+
+    #[test]
+    fn depth_cache_stays_exact_under_armed_patch_extract_absorb(
+        k_idx in 0usize..3,
+        n in 12usize..=90,
+        m in 12usize..=90,
+        seed in 0u64..500,
+    ) {
+        // The armed depth cache must equal a fresh parent-walk
+        // recomputation for every node after ANY sequence of the
+        // non-rotating mutations: `from_shape`, `patch_subtree`, and the
+        // resharding surgery pair `extract_range`/`absorb_fragment`.
+        // (Rotations disarm the cache — covered by the next test.)
+        let k = [2usize, 3, 5][k_idx];
+        let mut a = KstTree::from_shape(k, &ShapeTree::balanced_kary(n, k));
+        let mut b = KstTree::from_shape(k, &ShapeTree::balanced_kary(m, k));
+        check_armed_depths(&a)?;
+        check_armed_depths(&b)?;
+
+        let mut x = seed;
+        let mut lcg = move || {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            x >> 33
+        };
+
+        // Patch a few randomly chosen subtrees of `a` with fresh
+        // balanced fragments.
+        for _ in 0..4 {
+            let v = (lcg() % a.n() as u64) as u32;
+            let (lo, hi) = subtree_key_span(&a, v);
+            let size = (hi - lo + 1) as usize;
+            a.patch_subtree(lo, hi, &ShapeTree::balanced_kary(size, k));
+            check_armed_depths(&a)?;
+        }
+
+        // Boundary surgery in both directions: a low run of `a` grafted
+        // onto `b`'s high end, then a high run of `b` grafted back onto
+        // `a`'s low end — the full live-resharding round trip.
+        let take = 1 + (lcg() % (a.n() as u64 / 2)) as u32;
+        let (frag, _) = a.extract_range(1, take);
+        b.absorb_fragment(End::High, &frag);
+        check_armed_depths(&a)?;
+        check_armed_depths(&b)?;
+
+        let give = 1 + (lcg() % (b.n() as u64 / 2)) as u32;
+        let bn = b.n() as u32;
+        let (frag, _) = b.extract_range(bn - give + 1, bn);
+        a.absorb_fragment(End::Low, &frag);
+        check_armed_depths(&a)?;
+        check_armed_depths(&b)?;
+
+        validate(&a).map_err(TestCaseError::fail)?;
+        validate(&b).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn rotations_disarm_the_depth_cache_but_depths_stay_correct(
+        k_idx in 0usize..3,
+        n in 8usize..=80,
+        seed in 0u64..300,
+    ) {
+        // Restructuring drops the cache (exact maintenance through
+        // rotations would cost O(moved subtrees)); `depth()` must then
+        // fall back to the parent walk and stay correct for every node.
+        let k = [2usize, 3, 5][k_idx];
+        let mut net = KSplayNet::balanced(k, n);
+        prop_assert!(net.tree().depth_cache_armed(), "fresh build must arm");
+        let trace = gens::zipf(n, 60, 1.1, seed);
+        for &(u, v) in trace.requests() {
+            net.serve(u, v);
+        }
+        let t = net.tree();
+        prop_assert!(!t.depth_cache_armed(), "serves must disarm");
+        for v in t.nodes() {
+            prop_assert_eq!(t.depth(v), t.depth_walk(v), "node key {}", v + 1);
+        }
+        validate(t).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn lazy_net_depth_cache_survives_rebuilds_armed_and_exact(
+        k_idx in 0usize..3,
+        seed in 0u64..300,
+        incremental in proptest::bool::ANY,
+    ) {
+        // Lazy nets never rotate — their trees mutate only through
+        // `from_shape` rebuilds and `patch_subtree` — so the cache must
+        // stay armed (O(1) `distance_lca` depths) across arbitrarily many
+        // request/rebuild cycles, with exact depths throughout.
+        let k = [2usize, 3, 5][k_idx];
+        let n = 200;
+        let trace = gens::zipf(n, 400, 1.2, seed);
+        if incremental {
+            let mut net = LazyKaryNet::new(
+                k,
+                n,
+                120,
+                ksan::core::incremental_weight_balanced_rebuilder(k, 8),
+            );
+            for &(u, v) in trace.requests() {
+                net.serve(u, v);
+            }
+            prop_assert!(net.rebuilds() >= 1, "α must have fired");
+            check_armed_depths(net.tree())?;
+        } else {
+            let mut net =
+                LazyKaryNet::new(k, n, 120, ksan::core::lazy::weight_balanced_rebuilder(k));
+            for &(u, v) in trace.requests() {
+                net.serve(u, v);
+            }
+            prop_assert!(net.rebuilds() >= 1, "α must have fired");
+            check_armed_depths(net.tree())?;
+        }
     }
 
     #[test]

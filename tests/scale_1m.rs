@@ -9,8 +9,9 @@
 //! ## Memory budget
 //!
 //! The documented peak-RSS budget is **512 MiB**. Breakdown for k = 4,
-//! n = 10⁶: the arena tree itself is ~60 MB (parents 4 MB, elements 24 MB,
-//! child slots 16 MB, bounds 16 MB); `from_shape` construction transients
+//! n = 10⁶: the arena tree itself is ~64 MB (parents 4 MB, elements 24 MB,
+//! child slots 16 MB, bounds 16 MB, depth cache 4 MB — released at the
+//! first splay); `from_shape` construction transients
 //! (shape children lists, key ranges, traversal order) peak at roughly
 //! another ~100 MB and are freed before serving; the trace and test harness
 //! add a few MB. The budget leaves ~3× headroom over the expected ~170 MB
@@ -23,18 +24,13 @@
 
 use ksan::prelude::*;
 
+mod common;
+use common::assert_rss_within_budget;
+
 const N: usize = 1_000_000;
 const REQUESTS: usize = 200_000;
 const WINDOW: usize = 20_000;
 const RSS_BUDGET_KIB: u64 = 512 * 1024;
-
-/// Peak resident set size (VmHWM) of the current process in KiB, if the
-/// platform exposes it (Linux procfs).
-fn peak_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
 
 /// Skewed trace: a dominant far-apart hot pair with a pseudo-random cold
 /// request mixed in every 16th slot (deterministic, no RNG state needed).
@@ -87,13 +83,7 @@ fn million_node_hot_pair_stays_flat_and_within_memory_budget() {
     );
 
     // Memory: peak RSS within the documented budget (Linux-only probe).
-    match peak_rss_kib() {
-        Some(kib) => assert!(
-            kib < RSS_BUDGET_KIB,
-            "peak RSS {kib} KiB exceeds the documented {RSS_BUDGET_KIB} KiB budget"
-        ),
-        None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
-    }
+    assert_rss_within_budget(RSS_BUDGET_KIB);
 }
 
 #[test]
@@ -131,11 +121,5 @@ fn million_node_competitors_stay_flat_and_within_memory_budget() {
     let (total, windows) = ksan::sim::run_windowed(&mut rotor, &trace, WINDOW);
     run("RotorWalkNet", windows, total);
 
-    match peak_rss_kib() {
-        Some(kib) => assert!(
-            kib < RSS_BUDGET_KIB,
-            "peak RSS {kib} KiB exceeds the documented {RSS_BUDGET_KIB} KiB budget"
-        ),
-        None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
-    }
+    assert_rss_within_budget(RSS_BUDGET_KIB);
 }

@@ -28,18 +28,12 @@ use ksan::core::LazyKaryNet;
 use ksan::engine::{EngineConfig, ShardedEngine};
 use ksan::prelude::*;
 
+mod common;
+
 const N: usize = 1_000_000;
 const REQUESTS: usize = 200_000;
 const WINDOW: usize = 20_000;
 const RSS_BUDGET_KIB: u64 = 512 * 1024;
-
-/// Peak resident set size (VmHWM) of the current process in KiB, if the
-/// platform exposes it (Linux procfs).
-fn peak_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
 
 /// Skewed trace over 8 far-apart hot pairs with a pseudo-random cold
 /// request mixed in every 16th slot (deterministic, no RNG state needed).
@@ -131,17 +125,8 @@ fn million_node_lazy_shards_serve_through_the_engine() {
     assert_rss_within_budget();
 }
 
-/// Asserts the documented peak-RSS budget (Linux-only probe), printing
-/// the observed high-water mark for CI logs.
+/// Asserts the documented peak-RSS budget through the shared scale-test
+/// helper.
 fn assert_rss_within_budget() {
-    match peak_rss_kib() {
-        Some(kib) => {
-            eprintln!("peak RSS: {kib} KiB (budget {RSS_BUDGET_KIB} KiB)");
-            assert!(
-                kib < RSS_BUDGET_KIB,
-                "peak RSS {kib} KiB exceeds the documented {RSS_BUDGET_KIB} KiB budget"
-            );
-        }
-        None => eprintln!("VmHWM unavailable on this platform; RSS budget not checked"),
-    }
+    common::assert_rss_within_budget(RSS_BUDGET_KIB);
 }
